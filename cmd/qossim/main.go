@@ -1,0 +1,48 @@
+// Command qossim runs the reproduction's named scenarios and prints the
+// tables the paper reports.
+//
+// Usage:
+//
+//	qossim [-seed N] [-days D] [-site small|paper] <scenario>
+//
+// Scenarios:
+//
+//	before   one year of manual operations (Figure 2, left bars)
+//	after    one year under intelliagents (Figure 2, right bars)
+//	fig2     both years, side by side
+//	fig3     agent vs BMC CPU overhead at peak (Figure 3)
+//	fig4     agent vs BMC memory overhead at peak (Figure 4)
+//	latency  detection-latency table (§4: 5 min vs 1 h / 10 h / 25 h)
+//	mttr     manual incident repair times (§4: restarts up to 2 h, 4 h avg)
+//	ablate   cron-period and resubmission-policy ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	days := flag.Int("days", 365, "simulated days for year scenarios")
+	site := flag.String("site", "small", "site size: small or paper")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qossim [flags] before|after|fig2|fig3|fig4|latency|mttr|ablate\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper"}
+	out, err := experiments.Run(flag.Arg(0), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

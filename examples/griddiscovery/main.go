@@ -1,0 +1,53 @@
+// Griddiscovery: the paper's §5 outlook — "we hope the way agents generate
+// dynamic global service lists can be used in the grid resource discovery
+// and selection mechanisms for semantic grids". This example treats the
+// administration servers' DGSPL files on the shared pool as a grid
+// information service: an external consumer decodes the flat-ASCII list and
+// selects execution targets by capability, load and locality, without
+// talking to any host directly.
+package main
+
+import (
+	"fmt"
+
+	qoscluster "repro"
+	"repro/internal/faultinject"
+	"repro/internal/simclock"
+)
+
+func main() {
+	site := qoscluster.BuildSite(
+		qoscluster.SiteSpec{Name: "london-dc1", Geo: "UK", Seed: 9,
+			DatabaseHosts: 8, TransactionHosts: 2, FrontEndHosts: 2},
+		qoscluster.Options{Mode: qoscluster.ModeAgents, Faults: []faultinject.Spec{}},
+	)
+	// Let two DGSPL generations happen.
+	site.Run(35 * simclock.Minute)
+
+	// A "grid broker" reads the per-type service list straight off the
+	// admin servers' NFS pool — the published, tool-readable artifact.
+	list, err := site.Admin.ReadPoolDGSPL("oracle")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("grid information service: %d oracle endpoints published at t=%v\n\n",
+		len(list.Entries), list.GeneratedAt)
+	fmt.Printf("%-10s %-8s %-10s %5s %8s %6s %6s %-4s %-12s\n",
+		"service", "server", "type", "cpus", "memMB", "load", "slots", "geo", "site")
+	for _, e := range list.Entries {
+		fmt.Printf("%-10s %-8s %-10s %5d %8d %6.2f %6d %-4s %-12s\n",
+			e.AppName, e.Server, e.ServerType, e.CPUs, e.MemoryMB, e.Load, e.SlotsFree(), e.Geo, e.Site)
+	}
+
+	// Capability-based selection: at least 8 CPUs, UK-resident, least
+	// loaded relative to power — exactly the shortlist the batch-rescue
+	// path uses internally.
+	fmt.Println("\nbroker query: >=8 CPUs, geo=UK, ranked by free power")
+	power := func(model string, cpus int) float64 { return float64(cpus) }
+	for i, e := range list.Shortlist("oracle", power) {
+		if e.CPUs < 8 || e.Geo != "UK" {
+			continue
+		}
+		fmt.Printf("  %d. %s on %s (%d CPUs, load %.2f)\n", i+1, e.AppName, e.Server, e.CPUs, e.Load)
+	}
+}

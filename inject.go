@@ -1,0 +1,291 @@
+package qoscluster
+
+import (
+	"fmt"
+
+	"repro/internal/adminsrv"
+	"repro/internal/agents"
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/heal"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+// DefaultFaultSpecs returns the paper-calibrated fault campaign: category
+// arrival rates chosen so that one simulated year under ModeManual
+// reproduces the Figure-2 "before" downtime breakdown (≈550 h total,
+// dominated by databases crashing mid-job), given the operator timing model
+// the paper reports. The same campaign runs unchanged in ModeAgents — the
+// "after" column is earned, not configured.
+func DefaultFaultSpecs() []faultinject.Spec {
+	day := simclock.Day
+	return []faultinject.Spec{
+		{Category: metrics.CatMidCrash, MeanInterarrival: 19 * day, Window: faultinject.Overnight},
+		{Category: metrics.CatHuman, MeanInterarrival: 21 * day, Window: faultinject.Daytime},
+		{Category: metrics.CatPerformance, MeanInterarrival: 26 * day, Window: faultinject.Daytime},
+		{Category: metrics.CatFrontEnd, MeanInterarrival: 25 * day, Window: faultinject.Daytime},
+		{Category: metrics.CatLSF, MeanInterarrival: 42 * day, Window: faultinject.Daytime},
+		{Category: metrics.CatFirewallNet, MeanInterarrival: 100 * day, Window: faultinject.Daytime},
+		{Category: metrics.CatHardware, MeanInterarrival: 500 * day, Window: faultinject.AnyTime},
+		{Category: metrics.CatCompletelyDown, MeanInterarrival: 182 * day, Window: faultinject.Daytime},
+	}
+}
+
+func (s *Site) faultSpecs() []faultinject.Spec {
+	if s.Opts.Faults != nil {
+		return s.Opts.Faults
+	}
+	return DefaultFaultSpecs()
+}
+
+// inject performs one category's concrete breakage and registers the live
+// fault. In ModeManual the operator detection clock starts here; in
+// ModeAgents detection is whatever the agents (or the admin sweep) achieve.
+func (s *Site) inject(cat metrics.Category, now simclock.Time) {
+	var f *faultinject.Fault
+	switch cat {
+	case metrics.CatMidCrash:
+		f = s.injectMidCrash(now)
+	case metrics.CatHuman:
+		f = s.injectHumanError(now)
+	case metrics.CatPerformance:
+		f = s.injectPerformance(now)
+	case metrics.CatFrontEnd:
+		f = s.injectFrontEnd(now)
+	case metrics.CatLSF:
+		f = s.injectLSF(now)
+	case metrics.CatFirewallNet:
+		f = s.injectFirewallNet(now)
+	case metrics.CatHardware:
+		f = s.injectHardware(now)
+	case metrics.CatCompletelyDown:
+		f = s.injectCompletelyDown(now)
+	}
+	if f == nil {
+		return // no eligible target right now; the campaign will be back
+	}
+	if s.Opts.Mode == ModeManual {
+		// Without agents, nothing notices until a human does.
+		delay := s.Team.DetectionDelay(now)
+		s.Sim.After(delay, "manual-detect:"+f.Aspect, func(now2 simclock.Time) {
+			s.Registry.DetectFault(f, now2, "operator")
+		})
+	}
+}
+
+// pickService returns a running service of one of the given kinds with no
+// open fault, or nil.
+func (s *Site) pickService(rng *simclock.Rand, kinds ...svc.Kind) *svc.Service {
+	var cands []*svc.Service
+	for _, k := range kinds {
+		for _, sv := range s.Dir.ByKind(k) {
+			if sv.Running() && s.Registry.Find(sv.Host.Name, agents.ServiceAspect(sv.Spec.Name)) == nil {
+				cands = append(cands, sv)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// injectMidCrash crashes a database under batch load, failing its jobs —
+// the paper's dominant downtime source ("large database jobs scheduled to
+// run overnight would frequently crash databases").
+func (s *Site) injectMidCrash(now simclock.Time) *faultinject.Fault {
+	rng := s.Sim.Rand()
+	// Prefer a database currently running jobs.
+	var busy, any []*svc.Service
+	for _, name := range s.dbServices {
+		sv := s.Dir.Get(name)
+		if sv == nil || !sv.Running() || s.Registry.Find(sv.Host.Name, agents.ServiceAspect(name)) != nil {
+			continue
+		}
+		any = append(any, sv)
+		if s.LSF.RunningOn(name) > 0 {
+			busy = append(busy, sv)
+		}
+	}
+	pool := busy
+	if len(pool) == 0 {
+		pool = any
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	sv := pool[rng.Intn(len(pool))]
+	sv.Crash()
+	s.LSF.FailJobsOn(sv.Spec.Name, "database crashed mid-job")
+	return s.Registry.Add(metrics.CatMidCrash, sv.Host.Name, agents.ServiceAspect(sv.Spec.Name),
+		fmt.Sprintf("%s crashed under batch load", sv.Spec.Name), false, now,
+		heal.EnsureServiceRunning(s.Sim, sv))
+}
+
+// injectHumanError breaks a service through a bad manual change: the
+// service ends up stopped (wrong config pushed, wrong process killed).
+func (s *Site) injectHumanError(now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), svc.KindOracle, svc.KindSybase, svc.KindWeb, svc.KindFront, svc.KindFeed)
+	if sv == nil {
+		return nil
+	}
+	sv.Stop()
+	return s.Registry.Add(metrics.CatHuman, sv.Host.Name, agents.ServiceAspect(sv.Spec.Name),
+		fmt.Sprintf("%s stopped by administrator mistake", sv.Spec.Name), false, now,
+		heal.EnsureServiceRunning(s.Sim, sv))
+}
+
+// injectPerformance starts a runaway analyst process — a CPU hog or a
+// memory leaker — on a database or transaction host.
+func (s *Site) injectPerformance(now simclock.Time) *faultinject.Fault {
+	rng := s.Sim.Rand()
+	hosts := append(s.DC.ByRole(cluster.RoleDatabase), s.DC.ByRole(cluster.RoleTransaction)...)
+	var up []*cluster.Host
+	for _, h := range hosts {
+		if h.Up() && s.Registry.Find(h.Name, agents.AspectHog) == nil &&
+			s.Registry.Find(h.Name, agents.AspectLeak) == nil {
+			up = append(up, h)
+		}
+	}
+	if len(up) == 0 {
+		return nil
+	}
+	h := up[rng.Intn(len(up))]
+	if rng.Bool(0.5) {
+		p := h.Spawn("hog_simulation", fmt.Sprintf("analyst%d", rng.Intn(50)+1), "runaway model sweep",
+			float64(h.Model.CPUs), 256)
+		if p == nil {
+			return nil
+		}
+		pid := p.PID
+		return s.Registry.Add(metrics.CatPerformance, h.Name, agents.AspectHog,
+			fmt.Sprintf("runaway process %d saturating %s", pid, h.Name), false, now,
+			func(simclock.Time) bool { h.Kill(pid); return true })
+	}
+	p := h.Spawn("leak_modelcache", fmt.Sprintf("analyst%d", rng.Intn(50)+1), "leaking cache",
+		0.2, 0.85*float64(h.Model.MemoryMB))
+	if p == nil {
+		return nil
+	}
+	pid := p.PID
+	return s.Registry.Add(metrics.CatPerformance, h.Name, agents.AspectLeak,
+		fmt.Sprintf("leaking process %d exhausting memory on %s", pid, h.Name), false, now,
+		func(simclock.Time) bool { h.Kill(pid); return true })
+}
+
+// injectFrontEnd crashes or hangs a front-end application service.
+func (s *Site) injectFrontEnd(now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), svc.KindFront)
+	if sv == nil {
+		return nil
+	}
+	how := "crashed"
+	if s.Sim.Rand().Bool(0.3) {
+		sv.Hang()
+		how = "hung (latent error)"
+	} else {
+		sv.Crash()
+	}
+	return s.Registry.Add(metrics.CatFrontEnd, sv.Host.Name, agents.ServiceAspect(sv.Spec.Name),
+		fmt.Sprintf("front-end %s %s", sv.Spec.Name, how), false, now,
+		heal.EnsureServiceRunning(s.Sim, sv))
+}
+
+// injectLSF crashes a host's LSF daemons ("very often they would crash").
+func (s *Site) injectLSF(now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), svc.KindLSF)
+	if sv == nil {
+		return nil
+	}
+	sv.Crash()
+	return s.Registry.Add(metrics.CatLSF, sv.Host.Name, agents.ServiceAspect(sv.Spec.Name),
+		fmt.Sprintf("LSF daemons on %s crashed", sv.Host.Name), false, now,
+		heal.EnsureServiceRunning(s.Sim, sv))
+}
+
+// injectFirewallNet breaks a host's public-LAN connectivity (firewall
+// misconfiguration or network error). Agents detect but cannot repair
+// these (the paper's stated limitation).
+func (s *Site) injectFirewallNet(now simclock.Time) *faultinject.Fault {
+	rng := s.Sim.Rand()
+	hosts := s.DC.Hosts()
+	var up []*cluster.Host
+	for _, h := range hosts {
+		if h.Up() && h.Role != cluster.RoleAdmin && s.Registry.Find(h.Name, agents.AspectNet) == nil {
+			up = append(up, h)
+		}
+	}
+	if len(up) == 0 {
+		return nil
+	}
+	h := up[rng.Intn(len(up))]
+	s.Public.SetLink(h.Name, false)
+	h.InjectNICErrors(50)
+	return s.Registry.Add(metrics.CatFirewallNet, h.Name, agents.AspectNet,
+		fmt.Sprintf("firewall/network error isolates %s from the public LAN", h.Name), true, now,
+		func(simclock.Time) bool {
+			s.Public.SetLink(h.Name, true)
+			h.ClearNICErrors()
+			return true
+		})
+}
+
+// injectHardware kills a host outright: boards, power, backplane. Physical
+// repair required; nothing on the box can help.
+func (s *Site) injectHardware(now simclock.Time) *faultinject.Fault {
+	rng := s.Sim.Rand()
+	var up []*cluster.Host
+	for _, h := range s.DC.Hosts() {
+		if h.Up() && h.Role != cluster.RoleAdmin {
+			up = append(up, h)
+		}
+	}
+	if len(up) == 0 {
+		return nil
+	}
+	h := up[rng.Intn(len(up))]
+	affected := s.Dir.OnHost(h.Name)
+	h.HardwareFail()
+	for _, sv := range affected {
+		s.LSF.FailJobsOn(sv.Spec.Name, "execution host hardware failure")
+	}
+	ensure := heal.EnsureHostUp(s.Sim, h, affected)
+	aspect := adminsrv.HostAspect(h.Name)
+	return s.Registry.Add(metrics.CatHardware, h.Name, aspect,
+		fmt.Sprintf("hardware failure takes %s down", h.Name), true, now,
+		func(now2 simclock.Time) bool {
+			if !ensure(now2) {
+				return false
+			}
+			// Restoring the box also cures any faults that were pending on
+			// it (a crashed service waiting for its host, a hog that died
+			// with the machine); close their incidents with the same
+			// engineer visit, or they would accrue downtime unobserved.
+			for _, other := range s.Registry.OpenOn(h.Name) {
+				if other.Aspect != aspect {
+					s.Registry.ResolveFault(other, now2, "oncall-admin")
+				}
+			}
+			return true
+		})
+}
+
+// injectCompletelyDown corrupts a service so that restarts fail until a
+// human repairs the damage ("corruptions, bugs etc").
+func (s *Site) injectCompletelyDown(now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), svc.KindOracle, svc.KindSybase, svc.KindFront, svc.KindFeed)
+	if sv == nil {
+		return nil
+	}
+	sv.Crash()
+	sv.Wedged = true
+	ensure := heal.EnsureServiceRunning(s.Sim, sv)
+	return s.Registry.Add(metrics.CatCompletelyDown, sv.Host.Name, agents.ServiceAspect(sv.Spec.Name),
+		fmt.Sprintf("%s completely unavailable (corruption)", sv.Spec.Name), true, now,
+		func(now2 simclock.Time) bool {
+			sv.Wedged = false
+			return ensure(now2)
+		})
+}

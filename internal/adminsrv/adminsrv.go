@@ -1,0 +1,260 @@
+// Package adminsrv implements the paper's dedicated administration servers
+// (§3.1): an external agent-coordinator pair in a high-availability
+// failover configuration sharing a common pool of NFS-mounted disks. The
+// active server receives DLSP pushes from every status agent over the
+// private network, generates dynamic global service profile lists per
+// database type every 15 minutes, watches agent flags every X+5 minutes
+// (troubleshooting agents and spotting dead hosts), and manages LSF —
+// presenting shortlists of the best available database servers and
+// resubmitting failed batch jobs from the DGSPL instead of the users'
+// manual selections (§4).
+package adminsrv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/fsim"
+	"repro/internal/lsf"
+	"repro/internal/netsim"
+	"repro/internal/notify"
+	"repro/internal/ontology"
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+// VIP is the virtual address the active administration server answers on;
+// failover moves it, so agents never need to know which box is primary.
+const VIP = "admin-vip"
+
+// PoolMount is where both servers mount the shared NFS pool.
+const PoolMount = "/nfs/pool"
+
+// HostAspect is the registry aspect for whole-host (hardware) faults the
+// admin tier detects by missing flags.
+func HostAspect(host string) string { return "host." + host }
+
+// Server is one of the two administration hosts.
+type Server struct {
+	Host *cluster.Host
+}
+
+// Config assembles the administration pair.
+type Config struct {
+	Sim      *simclock.Sim
+	Primary  *cluster.Host
+	Standby  *cluster.Host
+	Pool     *fsim.Volume // shared NFS volume
+	Networks []*netsim.Network
+	Dir      *svc.Directory
+	LSF      *lsf.Cluster // may be nil when no batch tier exists
+	Registry *faultinject.Registry
+	Notify   *notify.Bus
+	ISSL     *ontology.ISSL
+	// OncallEmail receives escalations for faults needing humans.
+	OncallEmail string
+	// AgentPeriod is X, the agents' cron period; the flag sweep runs every
+	// X+5 minutes as the paper prescribes.
+	AgentPeriod simclock.Time
+	// DGSPLPeriod defaults to the paper's 15 minutes.
+	DGSPLPeriod simclock.Time
+}
+
+// Pair is the running administration tier.
+type Pair struct {
+	cfg     Config
+	sim     *simclock.Sim
+	servers [2]*Server
+	active  int // index into servers
+
+	// latest DLSP per origin server, as received over the network.
+	profiles map[string]*ontology.DLSP
+	// watch list: host -> expected agent names.
+	watched map[string][]string
+	hosts   map[string]*cluster.Host
+	// hostDown tracks open whole-host faults we already escalated.
+	hostDown map[string]bool
+	// latestDGSPL is the most recent generation.
+	latestDGSPL *ontology.DGSPL
+	// jobEscalated records unplaceable jobs already emailed about.
+	jobEscalated map[int]bool
+
+	// Counters for reports and tests.
+	Failovers     int
+	DLSPReceived  int
+	FlagSweeps    int
+	AgentRestarts int
+	Resubmissions int
+	Escalations   int
+
+	tickers []*simclock.Ticker
+}
+
+// New assembles and starts the administration tier: mounts the pool on
+// both servers, attaches the VIP to the active one, and starts the
+// heartbeat, flag-sweep, DGSPL and batch-rescue loops.
+func New(cfg Config) (*Pair, error) {
+	if cfg.Sim == nil || cfg.Primary == nil || cfg.Standby == nil || cfg.Pool == nil {
+		return nil, fmt.Errorf("adminsrv: sim, primary, standby and pool are required")
+	}
+	if cfg.AgentPeriod <= 0 {
+		cfg.AgentPeriod = 5 * simclock.Minute
+	}
+	if cfg.DGSPLPeriod <= 0 {
+		cfg.DGSPLPeriod = 15 * simclock.Minute
+	}
+	p := &Pair{
+		cfg:      cfg,
+		sim:      cfg.Sim,
+		servers:  [2]*Server{{Host: cfg.Primary}, {Host: cfg.Standby}},
+		profiles: make(map[string]*ontology.DLSP),
+		watched:  make(map[string][]string),
+		hosts:    make(map[string]*cluster.Host),
+		hostDown: make(map[string]bool),
+	}
+	cfg.Primary.FS.Mount(PoolMount, cfg.Pool)
+	cfg.Standby.FS.Mount(PoolMount, cfg.Pool)
+	if cfg.ISSL != nil {
+		_ = cfg.Primary.FS.WriteLines(PoolMount+"/issl.txt", cfg.ISSL.Encode())
+	}
+	p.attachVIP()
+
+	// Heartbeat: failover within a minute of the active server dying.
+	p.tickers = append(p.tickers, p.sim.Every(p.sim.Now()+simclock.Minute, simclock.Minute,
+		"adminsrv-heartbeat", p.heartbeat))
+	// Flag sweep every X+5 minutes.
+	p.tickers = append(p.tickers, p.sim.Every(p.sim.Now()+cfg.AgentPeriod+5*simclock.Minute,
+		cfg.AgentPeriod+5*simclock.Minute, "adminsrv-flagsweep", p.flagSweep))
+	// DGSPL generation every 15 minutes.
+	p.tickers = append(p.tickers, p.sim.Every(p.sim.Now()+cfg.DGSPLPeriod, cfg.DGSPLPeriod,
+		"adminsrv-dgspl", func(now simclock.Time) { p.GenerateDGSPL(now) }))
+	// Batch rescue sweep at the agent period (the paper's agents check
+	// job health every 5 minutes).
+	if cfg.LSF != nil {
+		p.tickers = append(p.tickers, p.sim.Every(p.sim.Now()+cfg.AgentPeriod, cfg.AgentPeriod,
+			"adminsrv-batch", p.batchSweep))
+	}
+	return p, nil
+}
+
+// Stop cancels the pair's loops (scenario teardown).
+func (p *Pair) Stop() {
+	for _, t := range p.tickers {
+		t.Stop()
+	}
+}
+
+// Active returns the currently active server.
+func (p *Pair) Active() *Server { return p.servers[p.active] }
+
+// attachVIP points the virtual address at the active server on every
+// network.
+func (p *Pair) attachVIP() {
+	for _, n := range p.cfg.Networks {
+		n.Attach(VIP, func(now simclock.Time, msg netsim.Message) { p.receive(now, msg) })
+	}
+}
+
+// heartbeat fails over to the standby when the active server is down.
+func (p *Pair) heartbeat(now simclock.Time) {
+	if p.Active().Host.Up() {
+		return
+	}
+	other := 1 - p.active
+	if !p.servers[other].Host.Up() {
+		return // both down; nothing to do until someone reboots them
+	}
+	p.active = other
+	p.Failovers++
+	// The VIP handler closure reads p.active, so reattachment is only
+	// needed if a network lost it; re-attach defensively.
+	p.attachVIP()
+}
+
+// Watch registers a host and the agent names expected to drop flags there.
+func (p *Pair) Watch(h *cluster.Host, agentNames ...string) {
+	p.hosts[h.Name] = h
+	p.watched[h.Name] = append(p.watched[h.Name], agentNames...)
+}
+
+// receive handles messages arriving at the VIP.
+func (p *Pair) receive(now simclock.Time, msg netsim.Message) {
+	if !p.Active().Host.Up() {
+		return
+	}
+	switch msg.Kind {
+	case "dlsp":
+		prof, err := ontology.DecodeDLSP(strings.Split(msg.Payload, "\n"))
+		if err != nil {
+			return
+		}
+		p.profiles[prof.Server] = prof
+		p.DLSPReceived++
+	case "agent-escalation":
+		p.Escalations++
+	}
+}
+
+// Profiles reports how many servers have delivered a DLSP.
+func (p *Pair) Profiles() int { return len(p.profiles) }
+
+// flagSweep checks every watched host: dead hosts are whole-host faults to
+// detect and escalate; live hosts with no recent flags mean broken agents,
+// which the admin tier troubleshoots (here: counts and re-kicks via the
+// registered restart hook).
+func (p *Pair) flagSweep(now simclock.Time) {
+	if !p.Active().Host.Up() {
+		return
+	}
+	p.FlagSweeps++
+	names := make([]string, 0, len(p.hosts))
+	for n := range p.hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := p.hosts[name]
+		if !h.Up() {
+			p.handleDeadHost(now, h)
+			continue
+		}
+		delete(p.hostDown, name)
+		for _, agentName := range p.watched[name] {
+			flagDir := "/logs/intelliagents/" + agentName
+			if names, err := h.FS.List(flagDir); err != nil || !hasFlagFile(names) {
+				// Missing flags: internal intelliagent problem or it never
+				// ran (§3.3). Troubleshoot the agent process.
+				p.AgentRestarts++
+			}
+		}
+	}
+}
+
+func hasFlagFile(names []string) bool {
+	for _, n := range names {
+		if strings.HasSuffix(n, ".flag") {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDeadHost detects (and escalates once) a whole-host failure.
+func (p *Pair) handleDeadHost(now simclock.Time, h *cluster.Host) {
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Detected(h.Name, HostAspect(h.Name), now, "adminserver")
+	}
+	if p.hostDown[h.Name] {
+		return
+	}
+	p.hostDown[h.Name] = true
+	if p.cfg.Notify != nil && p.cfg.OncallEmail != "" {
+		p.cfg.Notify.Send(notify.Email, "adminserver", p.cfg.OncallEmail,
+			"server "+h.Name+" unreachable",
+			fmt.Sprintf("no agent flags, host state %s; manual intervention required", h.State()),
+			"host-down")
+	}
+}

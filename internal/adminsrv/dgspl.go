@@ -1,0 +1,247 @@
+package adminsrv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/lsf"
+	"repro/internal/notify"
+	"repro/internal/ontology"
+	"repro/internal/simclock"
+)
+
+// GenerateDGSPL assembles the datacentre-wide service list from the latest
+// DLSPs plus live LSF slot accounting, writes one file per application type
+// to the shared NFS pool, and returns the combined list. The paper's admin
+// servers do this "per database type every 15 minutes on average".
+func (p *Pair) GenerateDGSPL(now simclock.Time) *ontology.DGSPL {
+	if !p.Active().Host.Up() {
+		return nil
+	}
+	list := &ontology.DGSPL{GeneratedAt: now}
+	servers := make([]string, 0, len(p.profiles))
+	for s := range p.profiles {
+		servers = append(servers, s)
+	}
+	sort.Strings(servers)
+	for _, server := range servers {
+		prof := p.profiles[server]
+		h := p.hosts[server]
+		geo, site := "", ""
+		if h != nil {
+			geo, site = h.Geo, h.Site
+		}
+		for _, s := range prof.Services {
+			e := ontology.DGSPLEntry{
+				Server:     prof.Server,
+				ServerType: prof.Model,
+				OS:         prof.OS,
+				CPUs:       prof.CPUs,
+				MemoryMB:   prof.MemoryMB,
+				AppName:    s.Name,
+				AppType:    s.Kind,
+				AppVersion: versionOf(p, s.Name),
+				Load:       prof.CPUUtil,
+				Users:      prof.Users,
+				Geo:        geo,
+				Site:       site,
+				State:      s.State,
+			}
+			if p.cfg.LSF != nil {
+				e.JobsRunning = p.cfg.LSF.RunningOn(s.Name)
+				e.JobsWaiting = p.cfg.LSF.WaitingFor(s.Name)
+				e.JobLimit = p.cfg.LSF.SlotLimit(s.Name)
+			}
+			list.Entries = append(list.Entries, e)
+		}
+	}
+	// One file per application type on the shared pool.
+	byType := map[string][]string{}
+	for _, e := range list.Entries {
+		single := &ontology.DGSPL{GeneratedAt: now, Entries: []ontology.DGSPLEntry{e}}
+		// Strip header lines after the first entry of a type.
+		lines := single.Encode()
+		if len(byType[e.AppType]) == 0 {
+			byType[e.AppType] = lines
+		} else {
+			byType[e.AppType] = append(byType[e.AppType], lines[2:]...)
+		}
+	}
+	fs := p.Active().Host.FS
+	for appType, lines := range byType {
+		_ = fs.WriteLines(fmt.Sprintf("%s/dgspl-%s.txt", PoolMount, appType), lines)
+	}
+	p.latestDGSPL = list
+	return list
+}
+
+func versionOf(p *Pair, svcName string) string {
+	if p.cfg.Dir == nil {
+		return ""
+	}
+	if s := p.cfg.Dir.Get(svcName); s != nil {
+		return s.Spec.Version
+	}
+	return ""
+}
+
+// LatestDGSPL returns the most recently generated list (nil before the
+// first generation).
+func (p *Pair) LatestDGSPL() *ontology.DGSPL { return p.latestDGSPL }
+
+// ReadPoolDGSPL decodes the per-type list from the shared pool, as another
+// consumer (or a grid resource-discovery mechanism, §5) would.
+func (p *Pair) ReadPoolDGSPL(appType string) (*ontology.DGSPL, error) {
+	lines, err := p.Active().Host.FS.ReadLines(fmt.Sprintf("%s/dgspl-%s.txt", PoolMount, appType))
+	if err != nil {
+		return nil, err
+	}
+	return ontology.DecodeDGSPL(lines)
+}
+
+// powerOf ranks server types for the shortlist; unknown models fall back to
+// CPU count.
+func powerOf(model string, cpus int) float64 {
+	if m, ok := cluster.ModelByName(model); ok {
+		return m.Power()
+	}
+	return float64(cpus)
+}
+
+// Shortlist presents the best available servers for a database type, best
+// first, from the latest DGSPL.
+func (p *Pair) Shortlist(appType string) []ontology.DGSPLEntry {
+	if p.latestDGSPL == nil {
+		return nil
+	}
+	return p.latestDGSPL.Shortlist(appType, powerOf)
+}
+
+// batchSweep finds failed batch jobs and resubmits each to the best
+// available database server from the DGSPL, preferring servers of equal or
+// higher power than the one that failed (§4, SLKT-guided selection). Jobs
+// that cannot be placed anywhere are escalated to the operators by email.
+func (p *Pair) batchSweep(now simclock.Time) {
+	if !p.Active().Host.Up() || p.cfg.LSF == nil {
+		return
+	}
+	if p.latestDGSPL == nil {
+		p.GenerateDGSPL(now)
+	}
+	for _, j := range p.cfg.LSF.Jobs() {
+		if j.State != lsf.JobFailed {
+			continue
+		}
+		target := p.pickResubmitTarget(j)
+		if target == "" {
+			p.escalateJob(j)
+			continue
+		}
+		if err := p.cfg.LSF.Requeue(j.ID, target); err == nil {
+			p.Resubmissions++
+		}
+	}
+}
+
+// pickResubmitTarget chooses the replacement server for a failed job:
+// same application type as the old server, available, free slots, equal-
+// or-higher power preferred, never the server that just failed.
+func (p *Pair) pickResubmitTarget(j *lsf.Job) string {
+	appType := p.appTypeOf(j.Server)
+	if appType == "" {
+		appType = string(firstDBType(p))
+	}
+	cands := p.Shortlist(appType)
+	var failedPower float64
+	if e := p.findEntry(j.Server); e != nil {
+		failedPower = powerOf(e.ServerType, e.CPUs)
+	}
+	// First pass: equal or higher power.
+	for _, e := range cands {
+		if e.AppName == j.Server {
+			continue
+		}
+		if powerOf(e.ServerType, e.CPUs) >= failedPower {
+			return e.AppName
+		}
+	}
+	// Second pass: anything available beats nothing ("choosing randomly a
+	// server ... although not ideal, significantly decreased downtime").
+	for _, e := range cands {
+		if e.AppName != j.Server {
+			return e.AppName
+		}
+	}
+	return ""
+}
+
+func (p *Pair) appTypeOf(svcName string) string {
+	if p.cfg.Dir != nil {
+		if s := p.cfg.Dir.Get(svcName); s != nil {
+			return string(s.Spec.Kind)
+		}
+	}
+	if p.latestDGSPL != nil {
+		if e := p.latestDGSPL.Entry(svcName); e != nil {
+			return e.AppType
+		}
+	}
+	return ""
+}
+
+func firstDBType(p *Pair) string {
+	if p.latestDGSPL == nil {
+		return "oracle"
+	}
+	for _, e := range p.latestDGSPL.Entries {
+		if e.AppType == "oracle" || e.AppType == "sybase" {
+			return e.AppType
+		}
+	}
+	return "oracle"
+}
+
+func (p *Pair) findEntry(svcName string) *ontology.DGSPLEntry {
+	if p.latestDGSPL == nil {
+		return nil
+	}
+	return p.latestDGSPL.Entry(svcName)
+}
+
+// escalateJob emails the operators about an unplaceable job, once per
+// failure ("if intelliagents were unable to allocate a server for job
+// submission at all ... they emailed human operators").
+func (p *Pair) escalateJob(j *lsf.Job) {
+	if p.cfg.Notify == nil || p.cfg.OncallEmail == "" {
+		return
+	}
+	if p.jobEscalated == nil {
+		p.jobEscalated = map[int]bool{}
+	}
+	if p.jobEscalated[j.ID] {
+		return
+	}
+	p.jobEscalated[j.ID] = true
+	p.cfg.Notify.Send(notify.Email, "adminserver", p.cfg.OncallEmail,
+		fmt.Sprintf("batch job %d unplaceable", j.ID),
+		fmt.Sprintf("job %q failed on %s (%s); no database server available for resubmission",
+			j.Name, j.Server, j.FailReason), "job-unplaceable")
+}
+
+// DailySummary renders the measurement summary the agents email to
+// nominated administrators on a daily basis (§4).
+func (p *Pair) DailySummary(now simclock.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "daily summary at %v\n", now)
+	fmt.Fprintf(&b, "profiles=%d dlsp-received=%d flag-sweeps=%d agent-restarts=%d\n",
+		len(p.profiles), p.DLSPReceived, p.FlagSweeps, p.AgentRestarts)
+	if p.cfg.LSF != nil {
+		counts := p.cfg.LSF.CountByState()
+		fmt.Fprintf(&b, "jobs: done=%d failed=%d running=%d pending=%d resubmitted=%d\n",
+			counts[lsf.JobDone], counts[lsf.JobFailed], counts[lsf.JobRunning],
+			counts[lsf.JobPending], p.Resubmissions)
+	}
+	return b.String()
+}

@@ -1,0 +1,293 @@
+// Package agent implements the paper's intelliagent framework (§3.3): Unix
+// programs, awakened every X minutes by cron, that monitor one
+// infrastructure aspect each, diagnose faults with constraint-based causal
+// reasoning, repair them where possible, log everything, and maintain
+// themselves. Agents are not memory resident — they exist as a short-lived
+// process for the duration of each run — and every run leaves flag files
+// under /logs/intelliagents/<name> that show what happened and exactly
+// where the agent found a fault. Absence of flags means the agent itself is
+// broken, which the administration servers watch for.
+package agent
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fsim"
+	"repro/internal/notify"
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+// Category classifies an intelliagent by function (§3.3): hardware, OS/
+// network, resource, application/service, status and performance agents.
+type Category string
+
+// Intelliagent categories.
+const (
+	CatHardware    Category = "hardware"
+	CatOSNetwork   Category = "os-network"
+	CatResource    Category = "resource"
+	CatService     Category = "service"
+	CatStatus      Category = "status"
+	CatPerformance Category = "performance"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevFault
+	SevCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevFault:
+		return "fault"
+	case SevCritical:
+		return "critical"
+	}
+	return "?"
+}
+
+// Finding is something the monitoring part observed to be off-nominal.
+type Finding struct {
+	Aspect   string // e.g. "memory.scanrate", "service.ORA-01"
+	Severity Severity
+	Detail   string
+	Metric   float64 // the measured value that tripped, if numeric
+}
+
+// Diagnosis is the diagnosing part's conclusion about a finding.
+type Diagnosis struct {
+	Finding   Finding
+	RootCause string // e.g. "database crashed mid-job"
+	Action    string // prescribed repair, e.g. "restart-service"
+	Confident bool   // constraint chain fully satisfied
+}
+
+// HealResult is the outcome of one repair attempt.
+type HealResult struct {
+	Action   string
+	Healed   bool
+	Detail   string
+	Escalate bool // could not fix: notify human administrators
+	// Deferred marks a repair that was initiated but completes later
+	// (e.g. a database restart takes minutes); the action itself signals
+	// the registry through RunContext.Repaired when it finishes, so the
+	// framework must not.
+	Deferred bool
+}
+
+// RunContext is everything a part may touch during one run. Agents see the
+// world only through it, which keeps them testable in isolation.
+type RunContext struct {
+	Now      simclock.Time
+	Sim      *simclock.Sim
+	Host     *cluster.Host
+	Services *svc.Directory
+	FS       *fsim.FS
+	Notify   *notify.Bus
+	// Report sends a message to the administration servers over the
+	// private agent network (may be nil when no admin tier is deployed).
+	Report func(kind, payload string)
+	// Detected tells the fault registry the agent spotted trouble on this
+	// host/aspect (nil when no registry is wired).
+	Detected func(aspect string, now simclock.Time)
+	// Repaired tells the fault registry a repair completed.
+	Repaired func(aspect string, now simclock.Time)
+	log      *fsim.CircLog
+	agent    *Agent
+}
+
+// Logf appends a line to the agent's activity log (communication part).
+func (rc *RunContext) Logf(format string, args ...any) {
+	if rc.log != nil {
+		line := fmt.Sprintf("%v %s: ", rc.Now, rc.agent.name) + fmt.Sprintf(format, args...)
+		_ = rc.log.Append(line)
+	}
+}
+
+// Parts are the pluggable halves of the five-part anatomy: monitoring,
+// diagnosing and self-healing are agent-specific; communication/logging and
+// self-maintenance are provided by the framework around them.
+type Parts struct {
+	Monitor  func(rc *RunContext) []Finding
+	Diagnose func(rc *RunContext, fs []Finding) []Diagnosis
+	Heal     func(rc *RunContext, d Diagnosis) HealResult
+}
+
+// Enabled toggles each of the five parts; the paper allows parts to be
+// activated or deactivated at installation or later.
+type Enabled struct {
+	Monitor      bool
+	Diagnose     bool
+	Heal         bool
+	Communicate  bool
+	SelfMaintain bool
+}
+
+// AllEnabled returns the default: every part active.
+func AllEnabled() Enabled {
+	return Enabled{Monitor: true, Diagnose: true, Heal: true, Communicate: true, SelfMaintain: true}
+}
+
+// Overhead is the agent's resource footprint while awake; the paper's
+// Figures 3 and 4 measure exactly this against BMC Patrol.
+type Overhead struct {
+	RunDuration simclock.Time // how long one run keeps a process alive
+	CPUDemand   float64       // CPUs-worth while running
+	MemMB       float64       // resident memory while running
+}
+
+// DefaultOverhead reflects the paper's measurements: ~1.6 MB resident while
+// awake, and a CPU cost calibrated so a host's typical five-agent
+// complement averages ~0.045% of an 8-CPU system over a half-hour window
+// (5 agents x 6 runs x 0.216 CPU-s per run / (1800 s x 8 CPUs) ≈ 0.045%).
+func DefaultOverhead() Overhead {
+	return Overhead{
+		RunDuration: 4 * simclock.Second,
+		CPUDemand:   0.054,
+		MemMB:       1.6,
+	}
+}
+
+// Counters accumulate over an agent's life for reports.
+type Counters struct {
+	Runs        int
+	SkippedLock int
+	Findings    int
+	Healed      int
+	Escalated   int
+	CPUSeconds  float64 // total CPU-seconds consumed (for overhead figures)
+}
+
+// Agent is one installed intelliagent.
+type Agent struct {
+	name     string
+	category Category
+	host     *cluster.Host
+	services *svc.Directory
+	bus      *notify.Bus
+	parts    Parts
+	enabled  Enabled
+	overhead Overhead
+
+	flagDir  string
+	lockPath string
+	logPath  string
+	log      *fsim.CircLog
+
+	report   func(kind, payload string)
+	detected func(aspect string, now simclock.Time)
+	repaired func(aspect string, now simclock.Time)
+
+	counters Counters
+	admins   []string
+}
+
+// InstallDir is where every intelliagent lives, per the paper ("always in
+// the same physical location /apps/intelliagents").
+const InstallDir = "/apps/intelliagents"
+
+// FlagRoot is the per-agent flag directory root.
+const FlagRoot = "/logs/intelliagents"
+
+// Config assembles an agent.
+type Config struct {
+	Name     string
+	Category Category
+	Host     *cluster.Host
+	Services *svc.Directory
+	Notify   *notify.Bus
+	Parts    Parts
+	Enabled  *Enabled  // nil = all enabled
+	Overhead *Overhead // nil = defaults
+	// Report/Detected/Repaired hooks; any may be nil.
+	Report   func(kind, payload string)
+	Detected func(aspect string, now simclock.Time)
+	Repaired func(aspect string, now simclock.Time)
+	// AdminEmail receives escalations.
+	AdminEmail string
+	// LogLines caps the circular activity log (default 500).
+	LogLines int
+}
+
+// New installs an intelliagent on its host.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Name == "" || cfg.Host == nil {
+		return nil, fmt.Errorf("agent: name and host are required")
+	}
+	if cfg.Parts.Monitor == nil {
+		return nil, fmt.Errorf("agent: %s: monitoring part is required", cfg.Name)
+	}
+	a := &Agent{
+		name:     cfg.Name,
+		category: cfg.Category,
+		host:     cfg.Host,
+		services: cfg.Services,
+		bus:      cfg.Notify,
+		parts:    cfg.Parts,
+		enabled:  AllEnabled(),
+		overhead: DefaultOverhead(),
+		flagDir:  FlagRoot + "/" + cfg.Name,
+		lockPath: InstallDir + "/" + cfg.Name + ".lock",
+		logPath:  FlagRoot + "/" + cfg.Name + "/activity.log",
+		report:   cfg.Report,
+		detected: cfg.Detected,
+		repaired: cfg.Repaired,
+	}
+	if cfg.Enabled != nil {
+		a.enabled = *cfg.Enabled
+	}
+	if cfg.Overhead != nil {
+		a.overhead = *cfg.Overhead
+	}
+	if cfg.AdminEmail != "" {
+		a.admins = append(a.admins, cfg.AdminEmail)
+	}
+	lines := cfg.LogLines
+	if lines == 0 {
+		lines = 500
+	}
+	var err error
+	a.log, err = fsim.NewCircLog(cfg.Host.FS, a.logPath, lines)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Name reports the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Category reports the agent's category.
+func (a *Agent) Category() Category { return a.category }
+
+// Host reports the host the agent is installed on.
+func (a *Agent) Host() *cluster.Host { return a.host }
+
+// Counters returns a copy of the lifetime counters.
+func (a *Agent) Counters() Counters { return a.counters }
+
+// Overhead returns the configured footprint.
+func (a *Agent) Overhead() Overhead { return a.overhead }
+
+// FlagDir reports the agent's flag directory.
+func (a *Agent) FlagDir() string { return a.flagDir }
+
+// flagName builds a conventional flag file name.
+func flagName(status, detail string) string {
+	if detail == "" {
+		return status + ".flag"
+	}
+	return status + "." + detail + ".flag"
+}

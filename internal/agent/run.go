@@ -1,0 +1,217 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/notify"
+	"repro/internal/simclock"
+)
+
+// Run executes one wake-up of the agent: the full five-part lifecycle. It
+// is called by the cron wiring (see Schedule) and can be called directly in
+// tests.
+//
+// Lifecycle, mirroring §3.3:
+//  1. If the host is down, nothing runs (crons don't fire on dead iron).
+//  2. Lock check: if another agent of the same type is running, exit.
+//  3. Self-maintenance: remove flags from previous runs and old profiles.
+//  4. Monitoring: observe the assigned aspect.
+//  5. Diagnosing + Self-healing for every fault found.
+//  6. Communication/Logging: flags, activity log, reports, escalation.
+func (a *Agent) Run(sim *simclock.Sim) {
+	if !a.host.Up() {
+		return
+	}
+	if a.host.FS.Exists(a.lockPath) {
+		a.counters.SkippedLock++
+		return
+	}
+	a.counters.Runs++
+
+	// The agent exists as a process only while awake: spawn, then reap at
+	// the end of the run window, charging the CPU it burned.
+	proc := a.host.Spawn("intelliagent_"+a.name, "iagent", InstallDir, a.overhead.CPUDemand, a.overhead.MemMB)
+	if proc == nil {
+		return
+	}
+	_ = a.host.FS.WriteLines(a.lockPath, []string{fmt.Sprintf("pid=%d", proc.PID)})
+	a.counters.CPUSeconds += a.overhead.CPUDemand * float64(a.overhead.RunDuration) / float64(simclock.Second)
+	sim.After(a.overhead.RunDuration, "agent-exit:"+a.name, func(simclock.Time) {
+		a.host.Kill(proc.PID)
+		_ = a.host.FS.Remove(a.lockPath)
+	})
+
+	rc := &RunContext{
+		Now:      sim.Now(),
+		Sim:      sim,
+		Host:     a.host,
+		Services: a.services,
+		FS:       a.host.FS,
+		Notify:   a.bus,
+		Report:   a.report,
+		Detected: a.detected,
+		Repaired: a.repaired,
+		log:      a.log,
+		agent:    a,
+	}
+
+	// Self-maintenance: clear previous-run flags; the circular activity
+	// log trims itself.
+	if a.enabled.SelfMaintain {
+		a.clearFlags()
+	}
+
+	if !a.enabled.Monitor {
+		a.writeFlag("disabled", "")
+		return
+	}
+	findings := a.parts.Monitor(rc)
+	a.counters.Findings += len(findings)
+
+	if len(findings) == 0 {
+		a.writeFlag("ok", "")
+		if a.enabled.Communicate {
+			rc.Logf("run ok, no findings")
+			if a.report != nil {
+				a.report("agent-ok", a.name)
+			}
+		}
+		return
+	}
+
+	for _, f := range findings {
+		a.writeFlag("fault", sanitize(f.Aspect))
+		if a.enabled.Communicate {
+			rc.Logf("finding: %s [%s] %s", f.Aspect, f.Severity, f.Detail)
+		}
+		if rc.Detected != nil && f.Severity >= SevFault {
+			rc.Detected(f.Aspect, rc.Now)
+		}
+	}
+
+	if !a.enabled.Diagnose || a.parts.Diagnose == nil {
+		a.escalateAll(rc, findings, "diagnosis disabled")
+		return
+	}
+	diags := a.parts.Diagnose(rc, findings)
+	for _, d := range diags {
+		if a.enabled.Communicate {
+			rc.Logf("diagnosis: %s -> root cause %q, action %s (confident=%v)",
+				d.Finding.Aspect, d.RootCause, d.Action, d.Confident)
+		}
+		if !a.enabled.Heal || a.parts.Heal == nil {
+			a.escalate(rc, d.Finding, "healing disabled: "+d.RootCause)
+			continue
+		}
+		res := a.parts.Heal(rc, d)
+		if res.Healed {
+			a.counters.Healed++
+			a.writeFlag("healed", sanitize(d.Finding.Aspect))
+			if rc.Repaired != nil && !res.Deferred {
+				rc.Repaired(d.Finding.Aspect, rc.Now)
+			}
+			if a.enabled.Communicate {
+				rc.Logf("healed: %s via %s (%s)", d.Finding.Aspect, res.Action, res.Detail)
+			}
+			continue
+		}
+		if a.enabled.Communicate {
+			rc.Logf("heal failed: %s via %s (%s)", d.Finding.Aspect, res.Action, res.Detail)
+		}
+		if res.Escalate {
+			a.escalate(rc, d.Finding, res.Detail)
+		}
+	}
+}
+
+// escalate notifies human administrators that the agent could not resolve a
+// fault, per the paper's "if there is a problem they cannot resolve they
+// notify human administrators (usually via email or SMS)".
+func (a *Agent) escalate(rc *RunContext, f Finding, why string) {
+	a.counters.Escalated++
+	a.writeFlag("escalated", sanitize(f.Aspect))
+	if !a.enabled.Communicate || a.bus == nil {
+		return
+	}
+	for _, admin := range a.admins {
+		a.bus.Send(notify.Email, a.name+"@"+a.host.Name, admin,
+			fmt.Sprintf("UNRESOLVED %s on %s", f.Aspect, a.host.Name),
+			fmt.Sprintf("%s: %s (%s)", f.Detail, why, f.Severity), "agent-escalation")
+	}
+	if a.report != nil {
+		a.report("agent-escalation", fmt.Sprintf("%s|%s|%s", a.host.Name, f.Aspect, why))
+	}
+}
+
+func (a *Agent) escalateAll(rc *RunContext, findings []Finding, why string) {
+	for _, f := range findings {
+		a.escalate(rc, f, why)
+	}
+}
+
+// writeFlag drops a status flag with the naming convention
+// <status>[.<detail>].flag in the agent's flag directory.
+func (a *Agent) writeFlag(status, detail string) {
+	_ = a.host.FS.WriteLines(a.flagDir+"/"+flagName(status, detail), nil)
+}
+
+// clearFlags removes previous-run flags (self-maintenance).
+func (a *Agent) clearFlags() {
+	names, err := a.host.FS.List(a.flagDir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".flag") {
+			_ = a.host.FS.Remove(a.flagDir + "/" + n)
+		}
+	}
+}
+
+// Flags lists the agent's current flag files.
+func (a *Agent) Flags() []string {
+	names, err := a.host.FS.List(a.flagDir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".flag") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HasFlag reports whether a flag with the given status prefix exists.
+func (a *Agent) HasFlag(status string) bool {
+	for _, f := range a.Flags() {
+		if f == status+".flag" || strings.HasPrefix(f, status+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// LogLines returns the agent's activity log.
+func (a *Agent) LogLines() []string { return a.log.Lines() }
+
+// sanitize makes an aspect safe for a file name.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// Schedule wires the agent to simulated cron: first run phase after now,
+// then every period ("awakened every X minutes by local to each host Unix
+// crons"). It returns the ticker so scenarios can stop it.
+func (a *Agent) Schedule(sim *simclock.Sim, phase, period simclock.Time) *simclock.Ticker {
+	return sim.Every(sim.Now()+phase, period, "cron:"+a.name, func(simclock.Time) { a.Run(sim) })
+}

@@ -1,0 +1,193 @@
+package agents
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/diagnose"
+	"repro/internal/fsim"
+	"repro/internal/heal"
+	"repro/internal/notify"
+)
+
+// PerfLogDir holds the five measurement groups' circular logs, classified
+// first by server name and then by measurement group (§3.5).
+func PerfLogDir(host string) string { return "/logs/performance/" + host }
+
+// PerfConfig tunes the performance intelliagent.
+type PerfConfig struct {
+	OSBaseline  *diagnose.Baseline
+	LogLines    int     // circular-queue length per measurement file
+	HogFraction float64 // a process demanding more than this fraction of the host's CPUs is a runaway
+}
+
+// NewPerformanceAgent builds the performance intelliagent for a host: each
+// run it samples the operating-system, disk and process measurement groups
+// (vmstat/iostat/ps equivalents), appends them to circular-queue ASCII
+// logs, compares against the pre-scripted baseline thresholds and notifies
+// by email when a threshold is exceeded (§3.5–3.6). Its limited
+// troubleshooting capability is exactly what the paper grants it: it can
+// identify and kill runaway user processes (CPU hogs and memory leakers);
+// anything else it reports.
+func NewPerformanceAgent(cfg agent.Config, pc PerfConfig) (*agent.Agent, error) {
+	host := cfg.Host
+	if pc.OSBaseline == nil {
+		pc.OSBaseline = diagnose.DefaultOSBaseline(host.Model)
+	}
+	if pc.LogLines == 0 {
+		pc.LogLines = 1000
+	}
+	if pc.HogFraction == 0 {
+		pc.HogFraction = 0.5
+	}
+	dir := PerfLogDir(host.Name)
+	logs := map[string]*fsim.CircLog{}
+	logFor := func(group string) *fsim.CircLog {
+		if l, ok := logs[group]; ok {
+			return l
+		}
+		l, _ := fsim.NewCircLog(host.FS, dir+"/"+group+".log", pc.LogLines)
+		logs[group] = l
+		return l
+	}
+
+	cfg.Name = "performance-" + host.Name
+	cfg.Category = agent.CatPerformance
+	admin := cfg.AdminEmail
+
+	cfg.Parts = agent.Parts{
+		Monitor: func(rc *agent.RunContext) []agent.Finding {
+			vm := host.VMStat()
+			io := host.IOStat()
+			// Measurement groups 1 (OS), 3 (disks), 4/5 (processes),
+			// recorded as timestamped ASCII for timeline association.
+			_ = logFor("os").Append(fmt.Sprintf("%d|sr=%.0f|po=%.0f|free=%.0f|runq=%d|idle=%.1f|blocked=%d",
+				int64(rc.Now), vm.ScanRate, vm.PageOuts, vm.FreeMemMB, vm.RunQueue, vm.CPUIdlePct, vm.BlockedProcs))
+			_ = logFor("disk").Append(fmt.Sprintf("%d|busy=%.0f|asvc=%.1f|wsvc=%.1f",
+				int64(rc.Now), io.BusyPct, io.AsvcMS, io.WsvcMS))
+			for _, p := range host.PS() {
+				if p.CPUDemand >= 0.5 {
+					_ = logFor("procs").Append(fmt.Sprintf("%d|pid=%d|user=%s|cmd=%s|cpu=%.2f|mem=%.0f",
+						int64(rc.Now), p.PID, p.User, p.Name, p.CPUDemand, p.MemMB))
+				}
+			}
+
+			var out []agent.Finding
+			check := func(aspect string, v float64) {
+				if msg, bad := pc.OSBaseline.Check(aspect, v); bad {
+					sev := agent.SevWarning
+					out = append(out, agent.Finding{Aspect: aspect, Severity: sev, Detail: msg, Metric: v})
+					if rc.Notify != nil && admin != "" {
+						rc.Notify.Send(notify.Email, "performance@"+host.Name, admin,
+							"threshold exceeded on "+host.Name, msg, "threshold-exceeded")
+					}
+				}
+			}
+			check("memory.scanrate", vm.ScanRate)
+			check("memory.pageouts", vm.PageOuts)
+			check("memory.freemb", vm.FreeMemMB)
+			check("cpu.runqueue", float64(vm.RunQueue))
+			check("cpu.idlepct", vm.CPUIdlePct)
+			check("io.blocked", float64(vm.BlockedProcs))
+			check("disk.asvc", io.AsvcMS)
+			check("disk.wsvc", io.WsvcMS)
+
+			// Runaway detection upgrades the generic threshold warnings to
+			// an actionable fault with the aspect the registry knows.
+			if hog := findRunaway(host, pc.HogFraction); hog != nil {
+				out = append(out, agent.Finding{
+					Aspect: AspectHog, Severity: agent.SevFault,
+					Detail: fmt.Sprintf("runaway process %d (%s) using %.1f CPUs", hog.PID, hog.Name, hog.CPUDemand),
+					Metric: float64(hog.PID),
+				})
+			}
+			if leak := findLeaker(host); leak != nil {
+				out = append(out, agent.Finding{
+					Aspect: AspectLeak, Severity: agent.SevFault,
+					Detail: fmt.Sprintf("process %d (%s) holds %.0f MB, memory scanner awake", leak.PID, leak.Name, leak.MemMB),
+					Metric: float64(leak.PID),
+				})
+			}
+			return out
+		},
+		Diagnose: func(rc *agent.RunContext, fs []agent.Finding) []agent.Diagnosis {
+			var out []agent.Diagnosis
+			for _, f := range fs {
+				switch f.Aspect {
+				case AspectHog:
+					out = append(out, agent.Diagnosis{Finding: f,
+						RootCause: "runaway user process saturating CPUs", Action: "kill-process", Confident: true})
+				case AspectLeak:
+					out = append(out, agent.Diagnosis{Finding: f,
+						RootCause: "leaking process exhausting memory", Action: "kill-process", Confident: true})
+				default:
+					// Threshold warnings without an identified culprit:
+					// suggest what may be wrong, nothing to heal (§3.3:
+					// "can suggest what may be wrong during service
+					// degradation and have limited troubleshooting
+					// capabilities").
+				}
+			}
+			return out
+		},
+		Heal: func(rc *agent.RunContext, d agent.Diagnosis) agent.HealResult {
+			if d.Action != "kill-process" {
+				return agent.HealResult{Action: d.Action, Healed: false}
+			}
+			pid := int(d.Finding.Metric)
+			if heal.KillProcess(host, pid) {
+				return agent.HealResult{Action: d.Action, Healed: true,
+					Detail: fmt.Sprintf("killed pid %d", pid)}
+			}
+			return agent.HealResult{Action: d.Action, Healed: false, Escalate: true,
+				Detail: fmt.Sprintf("pid %d would not die", pid)}
+		},
+	}
+	return agent.New(cfg)
+}
+
+// findRunaway returns the non-service process with the largest CPU demand
+// exceeding frac of the host's CPUs, or nil. Service processes (database
+// daemons and friends) are never killed by the performance agent.
+func findRunaway(h *cluster.Host, frac float64) *cluster.Process {
+	limit := frac * float64(h.Model.CPUs)
+	var worst *cluster.Process
+	for _, p := range h.PS() {
+		if !userProcess(p) || !p.Active() {
+			continue
+		}
+		if p.CPUDemand > limit && (worst == nil || p.CPUDemand > worst.CPUDemand) {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// findLeaker returns the biggest non-service memory consumer when the host
+// is under real memory pressure (scanner awake), or nil.
+func findLeaker(h *cluster.Host) *cluster.Process {
+	if h.VMStat().ScanRate == 0 {
+		return nil
+	}
+	var worst *cluster.Process
+	for _, p := range h.PS() {
+		if !userProcess(p) {
+			continue
+		}
+		if p.MemMB > 0.25*float64(h.Model.MemoryMB) && (worst == nil || p.MemMB > worst.MemMB) {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// userProcess reports whether p belongs to an end user rather than a
+// managed service or the agents themselves.
+func userProcess(p *cluster.Process) bool {
+	switch p.User {
+	case "oracle", "sybase", "www", "finapp", "lsfadmin", "feeds", "iagent", "root":
+		return false
+	}
+	return true
+}

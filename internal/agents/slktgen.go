@@ -1,0 +1,63 @@
+package agents
+
+import (
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/ontology"
+	"repro/internal/simclock"
+)
+
+// SLKT auto-generation implements the paper's future-work item "we are
+// trying to reduce as much as possible manual input and generate
+// automatically static ontologies": instead of an administrator typing the
+// knowledge template, the agent derives it from the live deployment — the
+// host's hardware and the services the directory binds to it, including
+// their startup sequences, process counts, ports, binaries, timeouts and
+// dependencies.
+
+// SLKTPath is where the generated template is stored locally.
+const SLKTPath = "/apps/intelliagents/slkt.txt"
+
+// GenerateSLKT derives the host's static local knowledge template from
+// live configuration.
+func GenerateSLKT(rc *agent.RunContext) *ontology.SLKT {
+	h := rc.Host
+	t := &ontology.SLKT{
+		Server:   h.Name,
+		Model:    h.Model.Name,
+		CPUs:     h.Model.CPUs,
+		MemoryMB: h.Model.MemoryMB,
+	}
+	if rc.Services == nil {
+		return t
+	}
+	for _, s := range rc.Services.OnHost(h.Name) {
+		app := ontology.SLKTApp{
+			Name:       s.Spec.Name,
+			Kind:       string(s.Spec.Kind),
+			Version:    s.Spec.Version,
+			Port:       s.Spec.Port,
+			BinaryPath: s.Spec.BinaryPath,
+			TimeoutSec: int(s.Spec.ConnectTimeout / simclock.Second),
+			ProcCounts: map[string]int{},
+		}
+		for _, c := range s.Spec.Components {
+			app.StartupSeq = append(app.StartupSeq, c.ProcName)
+			app.ProcCounts[c.ProcName] += c.Count
+		}
+		app.DependsOn = append(app.DependsOn, s.Spec.DependsOn...)
+		sort.Strings(app.DependsOn)
+		t.Apps = append(t.Apps, app)
+	}
+	return t
+}
+
+// WriteSLKT generates and persists the template on the host, returning it.
+func WriteSLKT(rc *agent.RunContext) (*ontology.SLKT, error) {
+	t := GenerateSLKT(rc)
+	if err := rc.FS.WriteLines(SLKTPath, t.Encode()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

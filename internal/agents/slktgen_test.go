@@ -1,0 +1,84 @@
+package agents
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/ontology"
+	"repro/internal/svc"
+)
+
+func TestGenerateSLKT(t *testing.T) {
+	r := newRig(t)
+	r.oracle(t)
+	fe, _ := svc.New(r.sim, svc.FrontEndSpec("FE-01", 8080, "ORA-01"), r.host)
+	r.dir.Add(fe)
+
+	// Borrow a status agent's run context by generating inside a probe.
+	var tmpl *ontology.SLKT
+	cfg := r.cfg()
+	cfg.Name = "slkt-gen"
+	cfg.Parts = agent.Parts{Monitor: func(rc *agent.RunContext) []agent.Finding {
+		var err error
+		tmpl, err = WriteSLKT(rc)
+		if err != nil {
+			t.Error(err)
+		}
+		return nil
+	}}
+	a, err := agent.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(r.sim)
+
+	if tmpl == nil || tmpl.Server != "db001" || tmpl.Model != "E4500" || tmpl.CPUs != 8 {
+		t.Fatalf("template: %+v", tmpl)
+	}
+	ora := tmpl.App("ORA-01")
+	if ora == nil {
+		t.Fatal("ORA-01 missing from generated template")
+	}
+	if ora.TimeoutSec != 30 || ora.Port != 1521 || ora.BinaryPath != "/apps/oracle/bin" {
+		t.Errorf("oracle app: %+v", ora)
+	}
+	if len(ora.StartupSeq) != 5 || ora.StartupSeq[0] != "ora_pmon" {
+		t.Errorf("startup seq = %v", ora.StartupSeq)
+	}
+	if ora.ProcCounts["ora_dbwr"] != 2 || ora.ExpectedProcs() != 6 {
+		t.Errorf("proc counts = %v", ora.ProcCounts)
+	}
+	feApp := tmpl.App("FE-01")
+	if feApp == nil || len(feApp.DependsOn) != 1 || feApp.DependsOn[0] != "ORA-01" {
+		t.Errorf("dependencies not captured: %+v", feApp)
+	}
+
+	// The persisted file round-trips through the standard codec.
+	lines, err := r.host.FS.ReadLines(SLKTPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ontology.DecodeSLKT(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Server != tmpl.Server || len(decoded.Apps) != len(tmpl.Apps) {
+		t.Error("persisted template does not round-trip")
+	}
+}
+
+func TestGenerateSLKTNoServices(t *testing.T) {
+	r := newRig(t)
+	cfg := r.cfg()
+	cfg.Name = "slkt-gen"
+	var tmpl *ontology.SLKT
+	cfg.Parts = agent.Parts{Monitor: func(rc *agent.RunContext) []agent.Finding {
+		tmpl = GenerateSLKT(rc)
+		return nil
+	}}
+	a, _ := agent.New(cfg)
+	a.Run(r.sim)
+	if tmpl == nil || len(tmpl.Apps) != 0 {
+		t.Errorf("bare host template: %+v", tmpl)
+	}
+}

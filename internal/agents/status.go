@@ -1,0 +1,82 @@
+package agents
+
+import (
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/ontology"
+)
+
+// DLSPPath is where the status agent leaves the freshest local profile.
+const DLSPPath = "/logs/intelliagents/status/dlsp.txt"
+
+// BuildDLSP compiles the host's dynamic local service profile from live
+// observation (§3.4: "its local status intelliagent ... compiles
+// dynamically its local DLSP").
+func BuildDLSP(rc *agent.RunContext) *ontology.DLSP {
+	h := rc.Host
+	p := &ontology.DLSP{
+		Server:      h.Name,
+		GeneratedAt: rc.Now,
+		Model:       h.Model.Name,
+		OS:          h.OS,
+		CPUs:        h.Model.CPUs,
+		MemoryMB:    h.Model.MemoryMB,
+		CPUUtil:     h.CPUUtilisation(),
+		RunQueue:    h.RunQueue(),
+		MemUsedMB:   h.MemUsedMB(),
+		Users:       h.UsersLoggedIn(),
+	}
+	if rc.Services != nil {
+		for _, s := range rc.Services.OnHost(h.Name) {
+			p.Services = append(p.Services, ontology.DLSPService{
+				Name:  s.Spec.Name,
+				Kind:  string(s.Spec.Kind),
+				State: s.State().String(),
+				Port:  s.Spec.Port,
+				Conns: s.Connections(),
+			})
+		}
+	}
+	return p
+}
+
+// NewStatusAgent builds the status intelliagent: each run it regenerates
+// the DLSP, removes the stale copy (self-maintenance covers flags; old
+// profiles are overwritten), stores it locally and pushes it to the
+// administration servers, which assemble DGSPLs from these pushes.
+//
+// Before generating, it invokes the local service probes ("the local status
+// intelliagent invokes local service intelliagents who attempt to connect
+// to local running services") — here by reading each service's live state,
+// which the service agents keep honest.
+func NewStatusAgent(cfg agent.Config) (*agent.Agent, error) {
+	cfg.Name = "status-" + cfg.Host.Name
+	cfg.Category = agent.CatStatus
+	cfg.Parts = agent.Parts{
+		Monitor: func(rc *agent.RunContext) []agent.Finding {
+			p := BuildDLSP(rc)
+			lines := p.Encode()
+			_ = rc.FS.WriteLines(DLSPPath, lines)
+			if rc.Report != nil {
+				rc.Report("dlsp", strings.Join(lines, "\n"))
+			}
+			// Status generation is not fault detection; service agents own
+			// that. A clean run reports nothing.
+			return nil
+		},
+	}
+	return agent.New(cfg)
+}
+
+// ReadLocalDLSP loads the profile the status agent last generated on a
+// host's filesystem.
+func ReadLocalDLSP(fs interface {
+	ReadLines(string) ([]string, error)
+}) (*ontology.DLSP, error) {
+	lines, err := fs.ReadLines(DLSPPath)
+	if err != nil {
+		return nil, err
+	}
+	return ontology.DecodeDLSP(lines)
+}

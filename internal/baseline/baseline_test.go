@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/notify"
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+func newHost(sim *simclock.Sim) *cluster.Host {
+	return cluster.NewHost(sim, "db001", "10.0.0.1", cluster.ModelE4500, cluster.RoleDatabase, "london", "UK")
+}
+
+func TestResidentDaemon(t *testing.T) {
+	sim := simclock.New(31)
+	h := newHost(sim)
+	m := Install(sim, h, DefaultFootprint(), nil, "", 5*simclock.Minute, nil)
+	if !m.Resident() {
+		t.Fatal("daemon should be resident immediately")
+	}
+	if len(h.PGrep("bmcpatrol")) != 1 {
+		t.Error("bmcpatrol missing from process table")
+	}
+	sim.RunUntil(simclock.Hour)
+	if !m.Resident() {
+		t.Error("daemon should stay resident — that is the point")
+	}
+}
+
+func TestFootprintGrowsWithLoad(t *testing.T) {
+	sim := simclock.New(31)
+	h := newHost(sim)
+	m := Install(sim, h, DefaultFootprint(), nil, "", 5*simclock.Minute, nil)
+	sim.RunUntil(simclock.Hour)
+	idleCPU, idleMem := m.CPUPercent(), m.MemMB()
+	h.Spawn("busywork", "analyst1", "", 6.5, 1000)
+	sim.RunUntil(2 * simclock.Hour)
+	busyCPU, busyMem := m.CPUPercent(), m.MemMB()
+	if busyCPU <= idleCPU {
+		t.Errorf("CPU should grow with load: idle=%.3f busy=%.3f", idleCPU, busyCPU)
+	}
+	if busyMem <= idleMem {
+		t.Errorf("memory should grow with load: idle=%.1f busy=%.1f", idleMem, busyMem)
+	}
+	// Paper ranges at peak: CPU up to ~1.1%, memory up to ~58 MB.
+	if busyCPU < 0.3 || busyCPU > 1.5 {
+		t.Errorf("busy CPU%% = %.3f, want within Figure 3's ballpark", busyCPU)
+	}
+	if busyMem < 30 || busyMem > 70 {
+		t.Errorf("busy mem = %.1f MB, want within Figure 4's ballpark", busyMem)
+	}
+}
+
+func TestAlertsOnFailedProbe(t *testing.T) {
+	sim := simclock.New(31)
+	h := newHost(sim)
+	dir := svc.NewDirectory()
+	s, _ := svc.New(sim, svc.OracleSpec("ORA-01", 1521), h)
+	dir.Add(s)
+	s.Start(nil)
+	sim.RunUntil(10 * simclock.Minute)
+	bus := notify.NewBus(sim)
+	m := Install(sim, h, DefaultFootprint(), bus, "console@noc", 5*simclock.Minute, dir)
+	sim.RunUntil(sim.Now() + 20*simclock.Minute)
+	if m.Alerts != 0 {
+		t.Fatalf("healthy service alerted %d times", m.Alerts)
+	}
+	s.Crash()
+	sim.RunUntil(sim.Now() + 11*simclock.Minute)
+	if m.Alerts == 0 {
+		t.Error("crashed service should raise console alerts")
+	}
+	if bus.CountByTag("bmc-alert") == 0 {
+		t.Error("console notification missing")
+	}
+}
+
+func TestDaemonDiesWithHostAndRespawns(t *testing.T) {
+	sim := simclock.New(31)
+	h := newHost(sim)
+	m := Install(sim, h, DefaultFootprint(), nil, "", 5*simclock.Minute, nil)
+	h.Crash()
+	sim.RunUntil(sim.Now() + 6*simclock.Minute)
+	if m.Resident() || m.CPUPercent() != 0 || m.MemMB() != 0 {
+		t.Error("daemon should be gone with its host")
+	}
+	h.Boot(simclock.Minute, nil)
+	sim.RunUntil(sim.Now() + 10*simclock.Minute)
+	if !m.Resident() {
+		t.Error("daemon should respawn when the host returns")
+	}
+}
+
+func TestStop(t *testing.T) {
+	sim := simclock.New(31)
+	h := newHost(sim)
+	m := Install(sim, h, DefaultFootprint(), nil, "", 5*simclock.Minute, nil)
+	m.Stop()
+	if m.Resident() || len(h.PGrep("bmcpatrol")) != 0 {
+		t.Error("Stop should remove the daemon")
+	}
+}

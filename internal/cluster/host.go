@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fsim"
+	"repro/internal/simclock"
+)
+
+// HostState is the coarse availability state of a server.
+type HostState int
+
+// Host states.
+const (
+	HostUp HostState = iota
+	HostBooting
+	HostDown
+	HostHardwareFault // needs physical intervention; reboot does not help
+)
+
+func (s HostState) String() string {
+	switch s {
+	case HostUp:
+		return "up"
+	case HostBooting:
+		return "booting"
+	case HostDown:
+		return "down"
+	case HostHardwareFault:
+		return "hwfault"
+	}
+	return "?"
+}
+
+// Role is the host's function in the datacentre (paper §4 breakdown).
+type Role string
+
+// Roles at the evaluation site.
+const (
+	RoleDatabase    Role = "database"
+	RoleTransaction Role = "transaction"
+	RoleFrontEnd    Role = "frontend"
+	RoleAdmin       Role = "admin"
+)
+
+// Host is one simulated Unix server.
+type Host struct {
+	sim   *simclock.Sim
+	Name  string
+	IP    string
+	Model HardwareModel
+	OS    string
+	Role  Role
+	Site  string // site name, e.g. "london-dc1"
+	Geo   string // geographical location, e.g. "UK"
+
+	FS *fsim.FS // local filesystem namespace
+
+	state     HostState
+	bootedAt  simclock.Time
+	procs     map[int]*Process
+	nextPID   int
+	users     map[string]int // logged-in user -> session count
+	extraLoad float64        // ambient CPU demand not tied to a process (interrupts, kernel)
+
+	// Disk activity level 0..1 fed by services; drives iostat numbers.
+	diskActivity float64
+	// NIC error injection for the network agent to find.
+	nicErrors int
+	// Sensor faults: degraded hardware components reported by the service
+	// processor (ECC errors, failed fans) that a hardware agent can spot
+	// before the box dies.
+	sensorFaults []string
+
+	// lastAccounted is the last time microstate accounting ran.
+	lastAccounted simclock.Time
+}
+
+// NewHost returns a booted host with an empty process table.
+func NewHost(sim *simclock.Sim, name, ip string, model HardwareModel, role Role, site, geo string) *Host {
+	return &Host{
+		sim:   sim,
+		Name:  name,
+		IP:    ip,
+		Model: model,
+		OS:    OSForModel(model),
+		Role:  role,
+		Site:  site,
+		Geo:   geo,
+		FS:    fsim.NewFS(),
+		state: HostUp,
+		procs: make(map[int]*Process),
+		users: make(map[string]int),
+		// PIDs start above the "kernel" range for realism in ps output.
+		nextPID: 100,
+	}
+}
+
+// State reports the host's availability state.
+func (h *Host) State() HostState { return h.state }
+
+// Up reports whether the host can run processes and answer probes.
+func (h *Host) Up() bool { return h.state == HostUp }
+
+// Crash takes the host down instantly, killing every process. Flag files
+// and logs on the local disk survive, as they would on a real machine.
+func (h *Host) Crash() {
+	if h.state == HostHardwareFault {
+		return
+	}
+	h.state = HostDown
+	h.procs = make(map[int]*Process)
+	h.users = make(map[string]int)
+	h.extraLoad = 0
+	h.diskActivity = 0
+}
+
+// HardwareFail marks the host as needing physical repair.
+func (h *Host) HardwareFail() {
+	h.Crash()
+	h.state = HostHardwareFault
+}
+
+// RepairHardware clears a hardware fault, leaving the host down and
+// bootable.
+func (h *Host) RepairHardware() {
+	if h.state == HostHardwareFault {
+		h.state = HostDown
+	}
+}
+
+// Boot starts the host; it becomes usable after bootTime. Booting a host
+// that is up or already booting is a no-op. Hosts with hardware faults
+// cannot boot.
+func (h *Host) Boot(bootTime simclock.Time, onUp func(now simclock.Time)) {
+	if h.state != HostDown {
+		return
+	}
+	h.state = HostBooting
+	h.sim.After(bootTime, "host-boot:"+h.Name, func(now simclock.Time) {
+		if h.state != HostBooting {
+			return
+		}
+		h.state = HostUp
+		h.bootedAt = now
+		if onUp != nil {
+			onUp(now)
+		}
+	})
+}
+
+// ForceUp brings a down or booting host up immediately — the manual-repair
+// path, where the operator's repair delay already covers the boot. Hosts
+// with live hardware faults stay down.
+func (h *Host) ForceUp(now simclock.Time) {
+	if h.state == HostDown || h.state == HostBooting {
+		h.state = HostUp
+		h.bootedAt = now
+	}
+}
+
+// Uptime reports time since the last boot (zero when down).
+func (h *Host) Uptime() simclock.Time {
+	if h.state != HostUp {
+		return 0
+	}
+	return h.sim.Now() - h.bootedAt
+}
+
+// Spawn adds a process to the table and returns it. Spawning on a down host
+// returns nil.
+func (h *Host) Spawn(name, user, args string, cpuDemand, memMB float64) *Process {
+	if h.state != HostUp {
+		return nil
+	}
+	h.accountMicrostates()
+	h.nextPID++
+	p := &Process{
+		PID:       h.nextPID,
+		Name:      name,
+		User:      user,
+		Args:      args,
+		CPUDemand: cpuDemand,
+		MemMB:     memMB,
+		State:     ProcRunning,
+		Started:   h.sim.Now(),
+	}
+	h.procs[p.PID] = p
+	return p
+}
+
+// Kill removes the process with the given PID, reporting whether it
+// existed.
+func (h *Host) Kill(pid int) bool {
+	if _, ok := h.procs[pid]; !ok {
+		return false
+	}
+	h.accountMicrostates()
+	delete(h.procs, pid)
+	return true
+}
+
+// Proc returns the process with the given PID, or nil.
+func (h *Host) Proc(pid int) *Process { return h.procs[pid] }
+
+// PS returns the process table sorted by PID, like ps -e.
+func (h *Host) PS() []*Process {
+	out := make([]*Process, 0, len(h.procs))
+	for _, p := range h.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// PGrep returns processes whose Name equals name, like pgrep -x.
+func (h *Host) PGrep(name string) []*Process {
+	var out []*Process
+	for _, p := range h.PS() {
+		if p.Name == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NProcs reports the process count.
+func (h *Host) NProcs() int { return len(h.procs) }
+
+// Login registers a user session; Logout removes one.
+func (h *Host) Login(user string) {
+	if h.state == HostUp {
+		h.users[user]++
+	}
+}
+
+// Logout removes one session for user.
+func (h *Host) Logout(user string) {
+	if h.users[user] > 1 {
+		h.users[user]--
+	} else {
+		delete(h.users, user)
+	}
+}
+
+// UsersLoggedIn reports distinct logged-in users.
+func (h *Host) UsersLoggedIn() int { return len(h.users) }
+
+// SetAmbientLoad sets kernel/interrupt CPU demand in CPUs-worth units.
+func (h *Host) SetAmbientLoad(cpus float64) { h.extraLoad = cpus }
+
+// AddDiskActivity adds to the disk activity level (clamped at 1.5 so
+// pathological stacking saturates rather than exploding).
+func (h *Host) AddDiskActivity(d float64) {
+	h.diskActivity += d
+	if h.diskActivity > 1.5 {
+		h.diskActivity = 1.5
+	}
+	if h.diskActivity < 0 {
+		h.diskActivity = 0
+	}
+}
+
+// InjectSensorFault records a degraded hardware component.
+func (h *Host) InjectSensorFault(component string) {
+	h.sensorFaults = append(h.sensorFaults, component)
+}
+
+// SensorFaults reports degraded components.
+func (h *Host) SensorFaults() []string { return append([]string(nil), h.sensorFaults...) }
+
+// ClearSensorFaults removes all sensor faults (after physical repair).
+func (h *Host) ClearSensorFaults() { h.sensorFaults = nil }
+
+// InjectNICErrors records NIC errors for netstat to report.
+func (h *Host) InjectNICErrors(n int) { h.nicErrors += n }
+
+// ClearNICErrors zeroes the NIC error counter (after repair).
+func (h *Host) ClearNICErrors() { h.nicErrors = 0 }
+
+// cpuDemand sums active process demand plus ambient load, in CPUs.
+func (h *Host) cpuDemand() float64 {
+	d := h.extraLoad
+	for _, p := range h.procs {
+		if p.Active() {
+			d += p.CPUDemand
+		}
+	}
+	return d
+}
+
+// CPUUtilisation reports overall utilisation in [0,1].
+func (h *Host) CPUUtilisation() float64 {
+	if h.state != HostUp {
+		return 0
+	}
+	u := h.cpuDemand() / float64(h.Model.CPUs)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// RunQueue reports processes waiting for a CPU (demand beyond capacity),
+// the paper's "CPU run queue" measurement.
+func (h *Host) RunQueue() int {
+	excess := h.cpuDemand() - float64(h.Model.CPUs)
+	if excess <= 0 {
+		return 0
+	}
+	return int(excess + 0.999)
+}
+
+// MemUsedMB sums resident process memory plus a fixed kernel share.
+func (h *Host) MemUsedMB() float64 {
+	if h.state != HostUp {
+		return 0
+	}
+	used := float64(h.Model.MemoryMB) * 0.05 // kernel + buffers
+	for _, p := range h.procs {
+		if p.HoldsMemory() {
+			used += p.MemMB
+		}
+	}
+	if used > float64(h.Model.MemoryMB) {
+		used = float64(h.Model.MemoryMB)
+	}
+	return used
+}
+
+// MemFreeMB reports free memory.
+func (h *Host) MemFreeMB() float64 { return float64(h.Model.MemoryMB) - h.MemUsedMB() }
+
+// Overloaded reports whether utilisation exceeds the model's maximum
+// sustainable load, the condition under which the paper says databases
+// crash mid-job.
+func (h *Host) Overloaded() bool { return h.CPUUtilisation() > h.Model.MaxLoad }
+
+// accountMicrostates charges elapsed time to each process's microstate
+// counters, at the microsecond-ish fidelity the paper gets from modern
+// CPUs. Costs are split by whether the process was runnable.
+func (h *Host) accountMicrostates() {
+	now := h.sim.Now()
+	dt := now - h.lastAccounted
+	h.lastAccounted = now
+	if dt <= 0 || h.state != HostUp {
+		return
+	}
+	util := h.CPUUtilisation()
+	for _, p := range h.procs {
+		switch p.State {
+		case ProcRunning:
+			// Crude split: 80% user, 20% sys, waiting grows with contention.
+			run := simclock.Time(float64(dt) * (1 - 0.5*util))
+			p.UserTime += simclock.Time(float64(run) * 0.8)
+			p.SysTime += simclock.Time(float64(run) * 0.2)
+			p.WaitTime += dt - run
+		case ProcSleeping, ProcHung:
+			p.WaitTime += dt
+		}
+	}
+}
+
+// Tick runs periodic host accounting; call it from a scenario ticker.
+func (h *Host) Tick(now simclock.Time) { h.accountMicrostates() }
+
+func (h *Host) String() string {
+	return fmt.Sprintf("%s (%s, %s, %s) %s", h.Name, h.IP, h.Model.Name, h.Role, h.state)
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// ProcState is a Unix-like process state.
+type ProcState int
+
+// Process states. Hung processes hold resources but make no progress;
+// health probes against them time out, which is how latent errors present.
+const (
+	ProcRunning ProcState = iota
+	ProcSleeping
+	ProcHung
+	ProcZombie
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcRunning:
+		return "R"
+	case ProcSleeping:
+		return "S"
+	case ProcHung:
+		return "H"
+	case ProcZombie:
+		return "Z"
+	}
+	return "?"
+}
+
+// Process is an entry in a host's process table. CPUDemand is the number of
+// CPUs' worth of work the process wants (0.5 = half a CPU); what it gets
+// depends on host contention.
+type Process struct {
+	PID       int
+	Name      string
+	User      string
+	Args      string
+	CPUDemand float64
+	MemMB     float64
+	State     ProcState
+	Started   simclock.Time
+
+	// Microstate accounting (paper §3.5): per-process user/system/wait
+	// times at microsecond resolution.
+	UserTime simclock.Time
+	SysTime  simclock.Time
+	WaitTime simclock.Time
+}
+
+func (p *Process) String() string {
+	return fmt.Sprintf("%5d %-8s %-12s %s %4.2fcpu %6.1fMB", p.PID, p.User, p.Name, p.State, p.CPUDemand, p.MemMB)
+}
+
+// Active reports whether the process consumes CPU (running, not hung or
+// zombie; sleeping processes hold memory only).
+func (p *Process) Active() bool { return p.State == ProcRunning }
+
+// HoldsMemory reports whether the process's memory is resident.
+func (p *Process) HoldsMemory() bool { return p.State != ProcZombie }

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// VMStat is a vmstat-style snapshot of the measurements the paper's
+// operating-system group collects (§3.6): scan rate, page-outs, page
+// faults, free memory, run queue, CPU idle and blocked processes.
+type VMStat struct {
+	ScanRate     float64 // sr: pages scanned/sec, ramps with memory pressure
+	PageOuts     float64 // po: pages written out/sec
+	PageFaults   float64 // minor+major faults/sec
+	FreeMemMB    float64
+	RunQueue     int
+	CPUIdlePct   float64
+	BlockedProcs int // waiting for I/O
+}
+
+// IOStat is an iostat-style snapshot; the paper watches asvc_t and wsvc_t
+// (active/wait service times) sampled over 30-second intervals.
+type IOStat struct {
+	BusyPct  float64 // %b
+	ReadsPS  float64
+	WritesPS float64
+	AsvcMS   float64 // active service time, ms
+	WsvcMS   float64 // wait (queue) time, ms
+}
+
+// NetStat is a netstat -i style snapshot.
+type NetStat struct {
+	PacketsInPS  float64
+	PacketsOutPS float64
+	Errors       int
+	Collisions   int
+}
+
+// VMStat samples the host's virtual-memory and CPU state. Memory pressure
+// beyond 90% of RAM wakes the page scanner, exactly the signal the memory
+// intelliagent's thresholds watch for.
+func (h *Host) VMStat() VMStat {
+	if h.state != HostUp {
+		return VMStat{}
+	}
+	memFrac := h.MemUsedMB() / float64(h.Model.MemoryMB)
+	var sr, po float64
+	if memFrac > 0.90 {
+		pressure := (memFrac - 0.90) / 0.10 // 0..1 across the last 10%
+		sr = 200 + 5000*pressure
+		po = 50 + 1500*pressure
+	}
+	util := h.CPUUtilisation()
+	blocked := int(h.diskActivity * 4)
+	return VMStat{
+		ScanRate:     sr,
+		PageOuts:     po,
+		PageFaults:   20 + 400*util,
+		FreeMemMB:    h.MemFreeMB(),
+		RunQueue:     h.RunQueue(),
+		CPUIdlePct:   math.Round((1-util)*1000) / 10,
+		BlockedProcs: blocked,
+	}
+}
+
+// IOStat samples aggregate disk behaviour. Service times follow an M/M/1
+// style blow-up as activity approaches the spindle capacity.
+func (h *Host) IOStat() IOStat {
+	if h.state != HostUp {
+		return IOStat{}
+	}
+	busy := h.diskActivity / 1.5
+	if busy > 0.99 {
+		busy = 0.99
+	}
+	base := 5.0 // ms at idle
+	asvc := base / (1 - busy)
+	wsvc := asvc * busy * busy * 4
+	return IOStat{
+		BusyPct:  math.Round(busy * 100),
+		ReadsPS:  80 * h.diskActivity * float64(h.Model.Disks),
+		WritesPS: 40 * h.diskActivity * float64(h.Model.Disks),
+		AsvcMS:   math.Round(asvc*10) / 10,
+		WsvcMS:   math.Round(wsvc*10) / 10,
+	}
+}
+
+// NetStat samples NIC counters, including injected errors.
+func (h *Host) NetStat() NetStat {
+	if h.state != HostUp {
+		return NetStat{}
+	}
+	util := h.CPUUtilisation()
+	return NetStat{
+		PacketsInPS:  500 + 8000*util,
+		PacketsOutPS: 400 + 7000*util,
+		Errors:       h.nicErrors,
+		Collisions:   h.nicErrors / 3,
+	}
+}
+
+// Datacentre is the collection of hosts at one customer site.
+type Datacentre struct {
+	hosts map[string]*Host
+	order []string // insertion order for deterministic iteration
+}
+
+// NewDatacentre returns an empty site.
+func NewDatacentre() *Datacentre {
+	return &Datacentre{hosts: make(map[string]*Host)}
+}
+
+// Add registers a host; duplicate names panic (a config bug).
+func (d *Datacentre) Add(h *Host) {
+	if _, dup := d.hosts[h.Name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate host %s", h.Name))
+	}
+	d.hosts[h.Name] = h
+	d.order = append(d.order, h.Name)
+}
+
+// Host looks a host up by name, or nil.
+func (d *Datacentre) Host(name string) *Host { return d.hosts[name] }
+
+// Hosts returns all hosts in registration order.
+func (d *Datacentre) Hosts() []*Host {
+	out := make([]*Host, 0, len(d.order))
+	for _, n := range d.order {
+		out = append(out, d.hosts[n])
+	}
+	return out
+}
+
+// ByRole returns hosts with the given role, in registration order.
+func (d *Datacentre) ByRole(role Role) []*Host {
+	var out []*Host
+	for _, h := range d.Hosts() {
+		if h.Role == role {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Size reports the number of hosts.
+func (d *Datacentre) Size() int { return len(d.hosts) }
+
+// UpCount reports how many hosts are currently up.
+func (d *Datacentre) UpCount() int {
+	n := 0
+	for _, h := range d.hosts {
+		if h.Up() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+package diagnose
+
+import "repro/internal/cluster"
+
+// DefaultOSBaseline builds the operating-system constraint table of §3.6
+// for a hardware model: memory scan rate / page-outs / free memory, CPU run
+// queue, idle %, blocked processes and disk service times. Bounds scale
+// with the machine size where that matters.
+func DefaultOSBaseline(m cluster.HardwareModel) *Baseline {
+	b := NewBaseline()
+	b.Set(Constraint{Aspect: "memory.scanrate", Min: 0, Max: 200, Unit: "pages/s"})
+	b.Set(Constraint{Aspect: "memory.pageouts", Min: 0, Max: 100, Unit: "pages/s"})
+	b.Set(Constraint{Aspect: "memory.freemb", Min: float64(m.MemoryMB) * 0.05, Max: float64(m.MemoryMB), Unit: "MB"})
+	b.Set(Constraint{Aspect: "cpu.runqueue", Min: 0, Max: float64(m.CPUs), Unit: "procs"})
+	b.Set(Constraint{Aspect: "cpu.idlepct", Min: (1 - m.MaxLoad) * 100, Max: 100, Unit: "%"})
+	b.Set(Constraint{Aspect: "io.blocked", Min: 0, Max: 5, Unit: "procs"})
+	b.Set(Constraint{Aspect: "disk.asvc", Min: 0, Max: 50, Unit: "ms"})
+	b.Set(Constraint{Aspect: "disk.wsvc", Min: 0, Max: 100, Unit: "ms"})
+	return b
+}
+
+// DefaultNetBaseline builds the network constraint table of §3.6.
+func DefaultNetBaseline() *Baseline {
+	b := NewBaseline()
+	b.Set(Constraint{Aspect: "net.errors", Min: 0, Max: 0, Unit: "count"})
+	b.Set(Constraint{Aspect: "net.collisions", Min: 0, Max: 10, Unit: "count"})
+	b.Set(Constraint{Aspect: "net.rtt", Min: 0, Max: 50, Unit: "ms"})
+	return b
+}
+
+// DefaultDBBaseline builds the database measurement constraints of §3.6:
+// connect time, request service time, startup/shutdown/backup durations,
+// and per-transaction memory.
+func DefaultDBBaseline() *Baseline {
+	b := NewBaseline()
+	b.Set(Constraint{Aspect: "db.connect", Min: 0, Max: 5, Unit: "s"})
+	b.Set(Constraint{Aspect: "db.request", Min: 0, Max: 30, Unit: "s"})
+	b.Set(Constraint{Aspect: "db.startup", Min: 0, Max: 600, Unit: "s"})
+	b.Set(Constraint{Aspect: "db.shutdown", Min: 0, Max: 300, Unit: "s"})
+	b.Set(Constraint{Aspect: "db.backup", Min: 0, Max: 14400, Unit: "s"})
+	b.Set(Constraint{Aspect: "db.memptx", Min: 0, Max: 64, Unit: "MB"})
+	return b
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	led := metrics.NewLedger()
+	r := NewRegistry(led)
+	repaired := false
+	f := r.Add(metrics.CatMidCrash, "db001", "service.ORA-01", "crash", false, simclock.Hour,
+		func(simclock.Time) bool { repaired = true; return true })
+	if r.OpenCount() != 1 || r.Find("db001", "service.ORA-01") != f {
+		t.Fatal("registry lookup broken")
+	}
+	if r.Find("db001", "other") != nil || r.Find("nope", "service.ORA-01") != nil {
+		t.Error("mismatched lookups should return nil")
+	}
+	r.Detected("db001", "service.ORA-01", simclock.Hour+5*simclock.Minute, "intelliagent")
+	if !f.Incident.Detected || f.Incident.DetectedBy != "intelliagent" {
+		t.Error("detection not recorded")
+	}
+	if !r.Resolve("db001", "service.ORA-01", simclock.Hour+10*simclock.Minute, "intelliagent") {
+		t.Fatal("resolve failed")
+	}
+	if !repaired || !f.Incident.Resolved {
+		t.Error("repair closure not run or incident open")
+	}
+	if r.OpenCount() != 0 {
+		t.Error("fault should be closed")
+	}
+	if r.Resolve("db001", "service.ORA-01", 2*simclock.Hour, "x") {
+		t.Error("double resolve should report false")
+	}
+}
+
+func TestResolveFailsWhenRepairFails(t *testing.T) {
+	r := NewRegistry(metrics.NewLedger())
+	f := r.Add(metrics.CatHardware, "db001", "hardware", "cpu board", true, 0,
+		func(simclock.Time) bool { return false })
+	if r.Resolve("db001", "hardware", simclock.Hour, "intelliagent") {
+		t.Error("resolve should fail when repair fails")
+	}
+	if f.Incident.Resolved || r.OpenCount() != 1 {
+		t.Error("fault must stay open")
+	}
+}
+
+func TestDetectedUnknownAspectIgnored(t *testing.T) {
+	r := NewRegistry(metrics.NewLedger())
+	r.Detected("ghost", "anything", simclock.Hour, "agent") // must not panic
+}
+
+func TestOpenOnOrderAndHosts(t *testing.T) {
+	r := NewRegistry(metrics.NewLedger())
+	r.Add(metrics.CatLSF, "b-host", "lsf", "", false, 0, nil)
+	r.Add(metrics.CatHuman, "a-host", "config", "", false, simclock.Hour, nil)
+	r.Add(metrics.CatLSF, "b-host", "lsf2", "", false, 2*simclock.Hour, nil)
+	if got := r.OpenOn("b-host"); len(got) != 2 || got[0].Aspect != "lsf" {
+		t.Errorf("OpenOn = %v", got)
+	}
+	if hosts := r.Hosts(); len(hosts) != 2 || hosts[0] != "a-host" {
+		t.Errorf("Hosts = %v", hosts)
+	}
+}
+
+func TestResolveFaultDirect(t *testing.T) {
+	r := NewRegistry(metrics.NewLedger())
+	f := r.Add(metrics.CatFrontEnd, "fe1", "service.FE-01", "", false, 0, nil)
+	if !r.ResolveFault(f, simclock.Hour, "intelliagent") {
+		t.Fatal("direct resolve failed")
+	}
+	if r.ResolveFault(f, 2*simclock.Hour, "x") {
+		t.Error("double direct resolve should report false")
+	}
+	if r.ResolveFault(nil, 0, "x") {
+		t.Error("nil fault should report false")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	wedDay := 2*simclock.Day + 11*simclock.Hour
+	wedNight := 2*simclock.Day + 23*simclock.Hour
+	satDay := 5*simclock.Day + 11*simclock.Hour
+	if !AnyTime.contains(wedDay) || !AnyTime.contains(wedNight) {
+		t.Error("AnyTime should contain everything")
+	}
+	if !Daytime.contains(wedDay) || Daytime.contains(wedNight) || Daytime.contains(satDay) {
+		t.Error("Daytime window wrong")
+	}
+	if !Overnight.contains(wedNight) || Overnight.contains(wedDay) {
+		t.Error("Overnight window wrong")
+	}
+}
+
+func TestCampaignRate(t *testing.T) {
+	sim := simclock.New(42)
+	var arrivals []simclock.Time
+	c := NewCampaign(sim, func(cat metrics.Category, now simclock.Time) {
+		arrivals = append(arrivals, now)
+	})
+	c.Start([]Spec{{Category: metrics.CatMidCrash, MeanInterarrival: simclock.Day, Window: AnyTime}})
+	sim.RunUntil(100 * simclock.Day)
+	n := len(arrivals)
+	if n < 70 || n > 140 {
+		t.Errorf("arrivals over 100 days with 1/day mean = %d", n)
+	}
+	if c.Injections(metrics.CatMidCrash) != n {
+		t.Error("injection counter mismatch")
+	}
+}
+
+func TestCampaignWindowBias(t *testing.T) {
+	sim := simclock.New(7)
+	inWindow, total := 0, 0
+	c := NewCampaign(sim, func(cat metrics.Category, now simclock.Time) {
+		total++
+		if now.IsOvernight() {
+			inWindow++
+		}
+	})
+	c.Start([]Spec{{Category: metrics.CatMidCrash, MeanInterarrival: 12 * simclock.Hour, Window: Overnight}})
+	sim.RunUntil(60 * simclock.Day)
+	if total == 0 {
+		t.Fatal("no arrivals")
+	}
+	frac := float64(inWindow) / float64(total)
+	if frac < 0.95 {
+		t.Errorf("only %.0f%% of overnight-biased faults fell overnight", frac*100)
+	}
+}
+
+func TestCampaignZeroRateSkipped(t *testing.T) {
+	sim := simclock.New(1)
+	fired := false
+	c := NewCampaign(sim, func(metrics.Category, simclock.Time) { fired = true })
+	c.Start([]Spec{{Category: metrics.CatLSF, MeanInterarrival: 0}})
+	sim.RunUntil(10 * simclock.Day)
+	if fired {
+		t.Error("zero-rate spec must not fire")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() []simclock.Time {
+		sim := simclock.New(99)
+		var arrivals []simclock.Time
+		c := NewCampaign(sim, func(cat metrics.Category, now simclock.Time) { arrivals = append(arrivals, now) })
+		c.Start([]Spec{
+			{Category: metrics.CatMidCrash, MeanInterarrival: simclock.Day},
+			{Category: metrics.CatHuman, MeanInterarrival: 2 * simclock.Day, Window: Daytime},
+		})
+		sim.RunUntil(30 * simclock.Day)
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

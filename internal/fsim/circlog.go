@@ -1,0 +1,63 @@
+package fsim
+
+import "fmt"
+
+// CircLog manages a file as a circular queue of lines with a configurable
+// maximum length, as the paper's persistent-state performance logs are
+// managed ("each file produced by persistent state processes was managed as
+// a circular queue, the length of which was configurable").
+type CircLog struct {
+	fs   *FS
+	path string
+	max  int
+}
+
+// NewCircLog returns a circular log writing to path on fs, keeping at most
+// max lines. max must be positive.
+func NewCircLog(fs *FS, path string, max int) (*CircLog, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("fsim: circular log %s: non-positive max %d", path, max)
+	}
+	return &CircLog{fs: fs, path: path, max: max}, nil
+}
+
+// Max reports the configured maximum line count.
+func (c *CircLog) Max() int { return c.max }
+
+// Path reports the backing file path.
+func (c *CircLog) Path() string { return c.path }
+
+// Append adds a line, discarding the oldest lines once the file exceeds the
+// maximum.
+func (c *CircLog) Append(line string) error {
+	lines, err := c.fs.ReadLines(c.path)
+	if err != nil {
+		lines = nil
+	}
+	lines = append(lines, line)
+	if len(lines) > c.max {
+		lines = lines[len(lines)-c.max:]
+	}
+	return c.fs.WriteLines(c.path, lines)
+}
+
+// Lines returns the current contents, oldest first.
+func (c *CircLog) Lines() []string {
+	lines, err := c.fs.ReadLines(c.path)
+	if err != nil {
+		return nil
+	}
+	return lines
+}
+
+// Len reports the current number of lines.
+func (c *CircLog) Len() int { return len(c.Lines()) }
+
+// Tail returns the newest n lines (fewer if the log is shorter).
+func (c *CircLog) Tail(n int) []string {
+	lines := c.Lines()
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return lines
+}

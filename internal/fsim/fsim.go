@@ -1,0 +1,375 @@
+// Package fsim simulates the slice of Unix filesystem behaviour the paper's
+// intelliagents rely on: flat ASCII files written through pipes, flag files
+// under /logs/intelliagents, circular-queue performance logs, and NFS
+// mounts shared between the administration servers.
+//
+// An FS is a single host's namespace. Mounting grafts a shared *Volume into
+// several namespaces so writes through one host are visible to the others,
+// exactly like the paper's common pool of NFS mounted disks.
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors reported by filesystem operations.
+var (
+	ErrNotExist = errors.New("fsim: file does not exist")
+	ErrIsDir    = errors.New("fsim: path is a directory")
+	ErrNotDir   = errors.New("fsim: path component is not a directory")
+	ErrExist    = errors.New("fsim: file already exists")
+	ErrReadOnly = errors.New("fsim: volume is read-only")
+)
+
+// file is a flat ASCII file. Content is held as lines, matching the
+// line-oriented way every tool in the paper consumes them.
+type file struct {
+	lines []string
+	mtime int64 // opaque modification stamp, monotonically increasing
+}
+
+// Volume is a mountable tree of files. Volumes are safe for concurrent use;
+// the simulation is single-goroutine but examples may not be.
+type Volume struct {
+	mu       sync.Mutex
+	files    map[string]*file // cleaned absolute path -> file
+	dirs     map[string]bool  // cleaned absolute path -> exists
+	stamp    int64
+	readOnly bool
+}
+
+// NewVolume returns an empty volume containing only the root directory.
+func NewVolume() *Volume {
+	return &Volume{
+		files: make(map[string]*file),
+		dirs:  map[string]bool{"/": true},
+	}
+}
+
+// SetReadOnly marks the volume read-only; subsequent writes fail with
+// ErrReadOnly. Used to simulate disk faults on shared storage.
+func (v *Volume) SetReadOnly(ro bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.readOnly = ro
+}
+
+func clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+func (v *Volume) ensureDirs(p string) error {
+	dir := path.Dir(p)
+	for dir != "/" {
+		if v.files[dir] != nil {
+			return fmt.Errorf("%w: %s", ErrNotDir, dir)
+		}
+		v.dirs[dir] = true
+		dir = path.Dir(dir)
+	}
+	return nil
+}
+
+// WriteLines replaces the file at p with the given lines, creating parent
+// directories as needed (like a shell redirection after mkdir -p).
+func (v *Volume) WriteLines(p string, lines []string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	p = clean(p)
+	if v.dirs[p] {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if err := v.ensureDirs(p); err != nil {
+		return err
+	}
+	v.stamp++
+	v.files[p] = &file{lines: append([]string(nil), lines...), mtime: v.stamp}
+	return nil
+}
+
+// AppendLine appends one line to the file at p, creating it if absent.
+func (v *Volume) AppendLine(p, line string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	p = clean(p)
+	if v.dirs[p] {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if err := v.ensureDirs(p); err != nil {
+		return err
+	}
+	f := v.files[p]
+	if f == nil {
+		f = &file{}
+		v.files[p] = f
+	}
+	v.stamp++
+	f.lines = append(f.lines, line)
+	f.mtime = v.stamp
+	return nil
+}
+
+// ReadLines returns a copy of the file's lines.
+func (v *Volume) ReadLines(p string) ([]string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p = clean(p)
+	if v.dirs[p] {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	f := v.files[p]
+	if f == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	return append([]string(nil), f.lines...), nil
+}
+
+// Exists reports whether a file (not directory) exists at p.
+func (v *Volume) Exists(p string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.files[clean(p)] != nil
+}
+
+// MTime reports the opaque modification stamp of the file at p; larger is
+// newer. It returns 0 for missing files.
+func (v *Volume) MTime(p string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if f := v.files[clean(p)]; f != nil {
+		return f.mtime
+	}
+	return 0
+}
+
+// Remove deletes the file at p. Removing a missing file returns
+// ErrNotExist, matching rm semantics.
+func (v *Volume) Remove(p string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	p = clean(p)
+	if v.files[p] == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	delete(v.files, p)
+	return nil
+}
+
+// Mkdir creates the directory p and its parents.
+func (v *Volume) Mkdir(p string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	p = clean(p)
+	if v.files[p] != nil {
+		return fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	if err := v.ensureDirs(p + "/x"); err != nil { // ensure p itself and parents
+		return err
+	}
+	v.dirs[p] = true
+	return nil
+}
+
+// List returns the sorted basenames of files directly inside directory p.
+func (v *Volume) List(p string) ([]string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p = clean(p)
+	if !v.dirs[p] && p != "/" {
+		// A directory exists implicitly if any file lives under it.
+		found := false
+		prefix := p + "/"
+		for fp := range v.files {
+			if strings.HasPrefix(fp, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+		}
+	}
+	var names []string
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	for fp := range v.files {
+		if strings.HasPrefix(fp, prefix) {
+			rest := strings.TrimPrefix(fp, prefix)
+			if !strings.Contains(rest, "/") {
+				names = append(names, rest)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// RemoveAll deletes every file under directory p (and p itself if it is a
+// file).
+func (v *Volume) RemoveAll(p string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	p = clean(p)
+	delete(v.files, p)
+	prefix := p + "/"
+	for fp := range v.files {
+		if strings.HasPrefix(fp, prefix) {
+			delete(v.files, fp)
+		}
+	}
+	for dp := range v.dirs {
+		if strings.HasPrefix(dp, prefix) {
+			delete(v.dirs, dp)
+		}
+	}
+	delete(v.dirs, p)
+	return nil
+}
+
+// FileCount reports the number of files on the volume.
+func (v *Volume) FileCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.files)
+}
+
+// mount maps a namespace prefix onto a volume.
+type mount struct {
+	prefix string // e.g. "/nfs/pool"
+	vol    *Volume
+}
+
+// FS is one host's filesystem namespace: a root volume plus mounts.
+type FS struct {
+	root   *Volume
+	mounts []mount // longest-prefix wins; kept sorted by descending length
+}
+
+// NewFS returns a namespace backed by a fresh private root volume.
+func NewFS() *FS { return &FS{root: NewVolume()} }
+
+// Mount grafts vol at prefix. Paths at or below prefix resolve on vol with
+// the prefix stripped, mirroring an NFS mount of a shared disk pool.
+func (fs *FS) Mount(prefix string, vol *Volume) {
+	prefix = clean(prefix)
+	fs.mounts = append(fs.mounts, mount{prefix: prefix, vol: vol})
+	sort.Slice(fs.mounts, func(i, j int) bool {
+		return len(fs.mounts[i].prefix) > len(fs.mounts[j].prefix)
+	})
+}
+
+// Unmount removes the mount at prefix, reporting whether one existed.
+func (fs *FS) Unmount(prefix string) bool {
+	prefix = clean(prefix)
+	for i, m := range fs.mounts {
+		if m.prefix == prefix {
+			fs.mounts = append(fs.mounts[:i], fs.mounts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// resolve maps a namespace path to (volume, volume-local path).
+func (fs *FS) resolve(p string) (*Volume, string) {
+	p = clean(p)
+	for _, m := range fs.mounts {
+		if p == m.prefix {
+			return m.vol, "/"
+		}
+		if strings.HasPrefix(p, m.prefix+"/") {
+			return m.vol, strings.TrimPrefix(p, m.prefix)
+		}
+	}
+	return fs.root, p
+}
+
+// WriteLines writes through the namespace. See Volume.WriteLines.
+func (fs *FS) WriteLines(p string, lines []string) error {
+	v, vp := fs.resolve(p)
+	return v.WriteLines(vp, lines)
+}
+
+// AppendLine appends through the namespace. See Volume.AppendLine.
+func (fs *FS) AppendLine(p, line string) error {
+	v, vp := fs.resolve(p)
+	return v.AppendLine(vp, line)
+}
+
+// ReadLines reads through the namespace. See Volume.ReadLines.
+func (fs *FS) ReadLines(p string) ([]string, error) {
+	v, vp := fs.resolve(p)
+	return v.ReadLines(vp)
+}
+
+// Exists reports file existence through the namespace.
+func (fs *FS) Exists(p string) bool {
+	v, vp := fs.resolve(p)
+	return v.Exists(vp)
+}
+
+// MTime reports the modification stamp through the namespace.
+func (fs *FS) MTime(p string) int64 {
+	v, vp := fs.resolve(p)
+	return v.MTime(vp)
+}
+
+// Remove deletes through the namespace.
+func (fs *FS) Remove(p string) error {
+	v, vp := fs.resolve(p)
+	return v.Remove(vp)
+}
+
+// Mkdir creates a directory through the namespace.
+func (fs *FS) Mkdir(p string) error {
+	v, vp := fs.resolve(p)
+	return v.Mkdir(vp)
+}
+
+// List lists a directory through the namespace.
+func (fs *FS) List(p string) ([]string, error) {
+	v, vp := fs.resolve(p)
+	return v.List(vp)
+}
+
+// RemoveAll removes a subtree through the namespace.
+func (fs *FS) RemoveAll(p string) error {
+	v, vp := fs.resolve(p)
+	return v.RemoveAll(vp)
+}
+
+// Touch creates an empty file at p if absent, updating its mtime if
+// present. This is how agents drop status flags.
+func (fs *FS) Touch(p string) error {
+	v, vp := fs.resolve(p)
+	lines, err := v.ReadLines(vp)
+	if err != nil {
+		return v.WriteLines(vp, nil)
+	}
+	return v.WriteLines(vp, lines)
+}

@@ -1,0 +1,200 @@
+// Package netsim simulates the paper's two-tier datacentre network: one or
+// more public LANs carrying application traffic and a dedicated private
+// intelliagent network carrying all agent-related traffic. Messages are
+// delivered through simclock events with per-network latency. When the
+// private network fails, senders using a Router automatically re-route over
+// the public LAN, as the paper's agents do with Unix administration
+// commands.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// Errors reported by Send.
+var (
+	ErrNetworkDown  = errors.New("netsim: network down")
+	ErrLinkDown     = errors.New("netsim: host link down")
+	ErrNotAttached  = errors.New("netsim: host not attached")
+	ErrNoRouteFound = errors.New("netsim: no usable network")
+)
+
+// Message is a datagram between named hosts.
+type Message struct {
+	From    string
+	To      string
+	Kind    string // e.g. "flag-report", "dgspl-push", "probe", "notify"
+	Payload string // flat ASCII, like everything else in the paper
+	Bytes   int    // accounted traffic size; 0 means len(Payload)
+}
+
+func (m Message) size() int {
+	if m.Bytes > 0 {
+		return m.Bytes
+	}
+	if n := len(m.Payload); n > 0 {
+		return n
+	}
+	return 64 // minimum frame
+}
+
+// Handler receives delivered messages.
+type Handler func(now simclock.Time, msg Message)
+
+// Stats is cumulative traffic accounting for one network.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	Bytes     int64
+}
+
+// Network is a broadcast domain with uniform latency.
+type Network struct {
+	name     string
+	sim      *simclock.Sim
+	latency  simclock.Time
+	jitter   float64
+	up       bool
+	handlers map[string]Handler
+	linkUp   map[string]bool
+	stats    Stats
+}
+
+// New returns an operational network delivering with the given base
+// latency. A jitter fraction of e.g. 0.2 spreads latency ±20%.
+func New(sim *simclock.Sim, name string, latency simclock.Time, jitter float64) *Network {
+	return &Network{
+		name:     name,
+		sim:      sim,
+		latency:  latency,
+		jitter:   jitter,
+		up:       true,
+		handlers: make(map[string]Handler),
+		linkUp:   make(map[string]bool),
+	}
+}
+
+// Name reports the network name.
+func (n *Network) Name() string { return n.name }
+
+// Up reports whether the network fabric is operational.
+func (n *Network) Up() bool { return n.up }
+
+// SetUp raises or drops the whole fabric (switch/firewall failure).
+func (n *Network) SetUp(up bool) { n.up = up }
+
+// Stats returns cumulative traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Attach connects host to the network with its link up. Reattaching
+// replaces the handler but preserves link state.
+func (n *Network) Attach(host string, h Handler) {
+	if _, ok := n.linkUp[host]; !ok {
+		n.linkUp[host] = true
+	}
+	n.handlers[host] = h
+}
+
+// Detach removes the host entirely.
+func (n *Network) Detach(host string) {
+	delete(n.handlers, host)
+	delete(n.linkUp, host)
+}
+
+// Attached reports whether host is connected.
+func (n *Network) Attached(host string) bool {
+	_, ok := n.handlers[host]
+	return ok
+}
+
+// SetLink raises or drops a single host's link (NIC or cable failure).
+func (n *Network) SetLink(host string, up bool) {
+	if _, ok := n.linkUp[host]; ok {
+		n.linkUp[host] = up
+	}
+}
+
+// LinkUp reports the host's link state.
+func (n *Network) LinkUp(host string) bool { return n.linkUp[host] }
+
+// Usable reports whether a message from one host to another could be
+// delivered right now.
+func (n *Network) Usable(from, to string) bool {
+	return n.up && n.Attached(from) && n.Attached(to) && n.linkUp[from] && n.linkUp[to]
+}
+
+// Send queues msg for delivery after the network latency. Errors are
+// returned synchronously when the fabric, either link, or attachment is
+// missing — the sender observes failure exactly as a Unix tool observes a
+// send(2) error — and delivery itself can still fail (counted as a drop)
+// if the destination link drops in flight.
+func (n *Network) Send(msg Message) error {
+	if !n.up {
+		return fmt.Errorf("%w: %s", ErrNetworkDown, n.name)
+	}
+	if !n.Attached(msg.From) {
+		return fmt.Errorf("%w: %s on %s", ErrNotAttached, msg.From, n.name)
+	}
+	if !n.Attached(msg.To) {
+		return fmt.Errorf("%w: %s on %s", ErrNotAttached, msg.To, n.name)
+	}
+	if !n.linkUp[msg.From] {
+		return fmt.Errorf("%w: %s on %s", ErrLinkDown, msg.From, n.name)
+	}
+	if !n.linkUp[msg.To] {
+		return fmt.Errorf("%w: %s on %s", ErrLinkDown, msg.To, n.name)
+	}
+	n.stats.Sent++
+	n.stats.Bytes += int64(msg.size())
+	lat := n.latency
+	if n.jitter > 0 {
+		lat = n.sim.Rand().Jitter(n.latency, n.jitter)
+	}
+	n.sim.After(lat, "netsim:"+n.name+":deliver", func(now simclock.Time) {
+		h, ok := n.handlers[msg.To]
+		if !ok || !n.up || !n.linkUp[msg.To] {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		h(now, msg)
+	})
+	return nil
+}
+
+// Router sends over an ordered preference list of networks, falling back to
+// the next network when the preferred one is unusable. The paper's agents
+// prefer the private intelliagent network and re-route over the public LAN
+// on failure.
+type Router struct {
+	nets     []*Network
+	Reroutes int // messages that fell back past the first network
+}
+
+// NewRouter returns a router preferring nets in the given order.
+func NewRouter(nets ...*Network) *Router { return &Router{nets: nets} }
+
+// Networks returns the preference list.
+func (r *Router) Networks() []*Network { return r.nets }
+
+// Send delivers msg over the first usable network. It reports which network
+// carried the message.
+func (r *Router) Send(msg Message) (*Network, error) {
+	for i, n := range r.nets {
+		if !n.Usable(msg.From, msg.To) {
+			continue
+		}
+		if err := n.Send(msg); err != nil {
+			continue
+		}
+		if i > 0 {
+			r.Reroutes++
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("%w: %s -> %s", ErrNoRouteFound, msg.From, msg.To)
+}

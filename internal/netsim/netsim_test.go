@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func newNet(t *testing.T) (*simclock.Sim, *Network) {
+	t.Helper()
+	sim := simclock.New(1)
+	return sim, New(sim, "private", 2*simclock.Second, 0)
+}
+
+func TestDeliver(t *testing.T) {
+	sim, n := newNet(t)
+	var got []Message
+	var at simclock.Time
+	n.Attach("a", nil)
+	n.Attach("b", func(now simclock.Time, m Message) { got = append(got, m); at = now })
+	if err := n.Send(Message{From: "a", To: "b", Kind: "probe", Payload: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(got) != 1 || got[0].Payload != "hi" {
+		t.Fatalf("delivery: %v", got)
+	}
+	if at != 2*simclock.Second {
+		t.Errorf("latency: delivered at %v", at)
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	_, n := newNet(t)
+	n.Attach("a", nil)
+	if err := n.Send(Message{From: "a", To: "ghost"}); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("to ghost: %v", err)
+	}
+	if err := n.Send(Message{From: "ghost", To: "a"}); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("from ghost: %v", err)
+	}
+	n.Attach("b", nil)
+	n.SetLink("a", false)
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("link down: %v", err)
+	}
+	n.SetLink("a", true)
+	n.SetUp(false)
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrNetworkDown) {
+		t.Errorf("net down: %v", err)
+	}
+}
+
+func TestInFlightDrop(t *testing.T) {
+	sim, n := newNet(t)
+	delivered := false
+	n.Attach("a", nil)
+	n.Attach("b", func(simclock.Time, Message) { delivered = true })
+	n.Send(Message{From: "a", To: "b"})
+	sim.After(simclock.Second, "cut", func(simclock.Time) { n.SetLink("b", false) })
+	sim.Run()
+	if delivered {
+		t.Error("message delivered despite link cut in flight")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Errorf("dropped = %d", n.Stats().Dropped)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	_, n := newNet(t)
+	n.Attach("a", nil)
+	n.Detach("a")
+	if n.Attached("a") {
+		t.Error("still attached after detach")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	sim, n := newNet(t)
+	n.Attach("a", nil)
+	n.Attach("b", func(simclock.Time, Message) {})
+	n.Send(Message{From: "a", To: "b", Payload: "0123456789"})
+	n.Send(Message{From: "a", To: "b", Bytes: 1000})
+	n.Send(Message{From: "a", To: "b"}) // minimum frame 64
+	sim.Run()
+	if n.Stats().Bytes != 10+1000+64 {
+		t.Errorf("bytes = %d", n.Stats().Bytes)
+	}
+}
+
+func TestRouterPrefersPrivate(t *testing.T) {
+	sim := simclock.New(1)
+	priv := New(sim, "private", simclock.Second, 0)
+	pub := New(sim, "public", simclock.Second, 0)
+	for _, n := range []*Network{priv, pub} {
+		n.Attach("a", nil)
+		n.Attach("b", func(simclock.Time, Message) {})
+	}
+	r := NewRouter(priv, pub)
+	via, err := r.Send(Message{From: "a", To: "b"})
+	if err != nil || via.Name() != "private" {
+		t.Fatalf("via %v err %v", via, err)
+	}
+	if r.Reroutes != 0 {
+		t.Errorf("reroutes = %d", r.Reroutes)
+	}
+}
+
+func TestRouterFallsBackWhenPrivateDown(t *testing.T) {
+	sim := simclock.New(1)
+	priv := New(sim, "private", simclock.Second, 0)
+	pub := New(sim, "public", simclock.Second, 0)
+	delivered := 0
+	for _, n := range []*Network{priv, pub} {
+		n.Attach("a", nil)
+		n.Attach("b", func(simclock.Time, Message) { delivered++ })
+	}
+	priv.SetUp(false)
+	r := NewRouter(priv, pub)
+	via, err := r.Send(Message{From: "a", To: "b"})
+	if err != nil || via.Name() != "public" {
+		t.Fatalf("via %v err %v", via, err)
+	}
+	if r.Reroutes != 1 {
+		t.Errorf("reroutes = %d", r.Reroutes)
+	}
+	sim.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+}
+
+func TestRouterNoRoute(t *testing.T) {
+	sim := simclock.New(1)
+	priv := New(sim, "private", simclock.Second, 0)
+	priv.Attach("a", nil)
+	priv.Attach("b", nil)
+	priv.SetUp(false)
+	r := NewRouter(priv)
+	if _, err := r.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrNoRouteFound) {
+		t.Errorf("want ErrNoRouteFound, got %v", err)
+	}
+}
+
+func TestRouterFallsBackOnLinkFailure(t *testing.T) {
+	sim := simclock.New(1)
+	priv := New(sim, "private", simclock.Second, 0)
+	pub := New(sim, "public", simclock.Second, 0)
+	for _, n := range []*Network{priv, pub} {
+		n.Attach("a", nil)
+		n.Attach("b", func(simclock.Time, Message) {})
+	}
+	priv.SetLink("b", false) // only b's private NIC fails
+	r := NewRouter(priv, pub)
+	via, err := r.Send(Message{From: "a", To: "b"})
+	if err != nil || via.Name() != "public" {
+		t.Fatalf("via %v err %v", via, err)
+	}
+}
+
+func TestJitterSpreadsLatency(t *testing.T) {
+	sim := simclock.New(42)
+	n := New(sim, "j", simclock.Second, 0.5)
+	n.Attach("a", nil)
+	var times []simclock.Time
+	n.Attach("b", func(now simclock.Time, _ Message) { times = append(times, now) })
+	for i := 0; i < 50; i++ {
+		n.Send(Message{From: "a", To: "b"})
+	}
+	sim.Run()
+	lo, hi := times[0], times[0]
+	for _, v := range times {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		t.Error("jitter produced identical latencies")
+	}
+	if lo < simclock.Time(float64(simclock.Second)*0.49) || hi > simclock.Time(float64(simclock.Second)*1.51) {
+		t.Errorf("jitter out of bounds: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestReattachPreservesLinkState(t *testing.T) {
+	_, n := newNet(t)
+	n.Attach("a", nil)
+	n.SetLink("a", false)
+	n.Attach("a", func(simclock.Time, Message) {})
+	if n.LinkUp("a") {
+		t.Error("reattach must not silently repair a downed link")
+	}
+}

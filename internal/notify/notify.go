@@ -1,0 +1,87 @@
+// Package notify simulates the email/SMS notification path the paper's
+// agents and monitoring tools use to reach human administrators ("they
+// notify human administrators, usually via email or SMS").
+package notify
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// Channel is a delivery channel.
+type Channel string
+
+// Channels the paper mentions.
+const (
+	Email Channel = "email"
+	SMS   Channel = "sms"
+)
+
+// Notification is one delivered message.
+type Notification struct {
+	At      simclock.Time
+	Channel Channel
+	From    string
+	To      string
+	Subject string
+	Body    string
+	Tag     string // machine-readable classification, e.g. "threshold-exceeded"
+}
+
+func (n Notification) String() string {
+	return fmt.Sprintf("[%v] %s %s -> %s: %s", n.At, n.Channel, n.From, n.To, n.Subject)
+}
+
+// Bus records notifications and fans them out to subscribers (the operator
+// model subscribes to react to pages).
+type Bus struct {
+	sim  *simclock.Sim
+	sent []Notification
+	subs []func(Notification)
+}
+
+// NewBus returns an empty bus.
+func NewBus(sim *simclock.Sim) *Bus { return &Bus{sim: sim} }
+
+// Subscribe registers a callback invoked for every future notification.
+func (b *Bus) Subscribe(fn func(Notification)) { b.subs = append(b.subs, fn) }
+
+// Send delivers a notification immediately (delivery latency is negligible
+// against the paper's hour-scale dynamics).
+func (b *Bus) Send(ch Channel, from, to, subject, body, tag string) Notification {
+	n := Notification{
+		At: b.sim.Now(), Channel: ch, From: from, To: to,
+		Subject: subject, Body: body, Tag: tag,
+	}
+	b.sent = append(b.sent, n)
+	for _, fn := range b.subs {
+		fn(n)
+	}
+	return n
+}
+
+// History returns every notification sent so far.
+func (b *Bus) History() []Notification { return b.sent }
+
+// CountByTag reports how many notifications carry the given tag.
+func (b *Bus) CountByTag(tag string) int {
+	n := 0
+	for _, x := range b.sent {
+		if x.Tag == tag {
+			n++
+		}
+	}
+	return n
+}
+
+// Since returns notifications at or after t.
+func (b *Bus) Since(t simclock.Time) []Notification {
+	var out []Notification
+	for _, x := range b.sent {
+		if x.At >= t {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package notify
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestSendAndHistory(t *testing.T) {
+	sim := simclock.New(1)
+	b := NewBus(sim)
+	sim.Schedule(simclock.Hour, "send", func(simclock.Time) {
+		b.Send(Email, "intelliagent@db001", "oncall@site", "ORA-01 down", "restarting", "service-fault")
+	})
+	sim.Run()
+	h := b.History()
+	if len(h) != 1 {
+		t.Fatalf("history = %d", len(h))
+	}
+	if h[0].At != simclock.Hour || h[0].Channel != Email || h[0].Tag != "service-fault" {
+		t.Errorf("notification: %+v", h[0])
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	sim := simclock.New(1)
+	b := NewBus(sim)
+	var got []Notification
+	b.Subscribe(func(n Notification) { got = append(got, n) })
+	b.Send(SMS, "a", "b", "s", "", "page")
+	if len(got) != 1 || got[0].Channel != SMS {
+		t.Errorf("subscriber: %v", got)
+	}
+}
+
+func TestCountByTagAndSince(t *testing.T) {
+	sim := simclock.New(1)
+	b := NewBus(sim)
+	b.Send(Email, "a", "b", "x", "", "threshold")
+	sim.Schedule(simclock.Hour, "later", func(simclock.Time) {
+		b.Send(Email, "a", "b", "y", "", "threshold")
+		b.Send(SMS, "a", "b", "z", "", "fault")
+	})
+	sim.Run()
+	if b.CountByTag("threshold") != 2 || b.CountByTag("fault") != 1 || b.CountByTag("none") != 0 {
+		t.Error("CountByTag broken")
+	}
+	if got := b.Since(simclock.Hour); len(got) != 2 {
+		t.Errorf("Since = %d", len(got))
+	}
+}

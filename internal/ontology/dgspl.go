@@ -1,0 +1,179 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// DGSPLEntry presents one available service exactly as the paper describes
+// (§3.1d): <Server type, OS, memory and CPUs, Application type and version,
+// Current Load, Users logged in, Geographical Location, Site Name>, plus
+// the LSF extensions the paper added in §4 (jobs currently processed, jobs
+// waiting, and the job submission limit per database server).
+type DGSPLEntry struct {
+	Server     string
+	ServerType string // hardware model family
+	OS         string
+	CPUs       int
+	MemoryMB   int
+	AppName    string
+	AppType    string
+	AppVersion string
+	Load       float64 // current CPU utilisation 0..1
+	Users      int
+	Geo        string
+	Site       string
+	State      string
+	// LSF extensions (paper §4).
+	JobsRunning int
+	JobsWaiting int
+	JobLimit    int
+}
+
+// Available reports whether the entry can accept work right now.
+func (e DGSPLEntry) Available() bool { return e.State == "running" || e.State == "degraded" }
+
+// SlotsFree reports remaining LSF job slots (limit minus running+waiting).
+func (e DGSPLEntry) SlotsFree() int {
+	free := e.JobLimit - e.JobsRunning - e.JobsWaiting
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// DGSPL is a dynamic global service profile list covering the datacentre.
+type DGSPL struct {
+	GeneratedAt simclock.Time
+	Entries     []DGSPLEntry
+}
+
+// ByApp returns entries for the given application type, e.g. "oracle".
+func (l *DGSPL) ByApp(appType string) []DGSPLEntry {
+	var out []DGSPLEntry
+	for _, e := range l.Entries {
+		if e.AppType == appType {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Entry finds the first entry for an app name, or nil.
+func (l *DGSPL) Entry(appName string) *DGSPLEntry {
+	for i := range l.Entries {
+		if l.Entries[i].AppName == appName {
+			return &l.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Shortlist ranks available entries of the given app type for job
+// submission, best choice first, the way the admin servers present "the
+// best available database server for the batch job in a shortlist, with the
+// best choice always first": available, with free slots, least loaded
+// relative to its power, most powerful first among ties.
+func (l *DGSPL) Shortlist(appType string, powerOf func(model string, cpus int) float64) []DGSPLEntry {
+	var cands []DGSPLEntry
+	for _, e := range l.ByApp(appType) {
+		if e.Available() && e.SlotsFree() > 0 {
+			cands = append(cands, e)
+		}
+	}
+	score := func(e DGSPLEntry) float64 {
+		// Effective headroom: free fraction of the server's power.
+		return (1 - e.Load) * powerOf(e.ServerType, e.CPUs)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		si, sj := score(cands[i]), score(cands[j])
+		if si != sj {
+			return si > sj
+		}
+		return cands[i].Server < cands[j].Server
+	})
+	return cands
+}
+
+// Encode renders the list:
+//
+//	gen|generated_ns
+//	svc|server|serverType|os|cpus|memMB|appName|appType|version|load|users|geo|site|state|jobsRun|jobsWait|jobLimit
+func (l *DGSPL) Encode() []string {
+	lines := []string{
+		"# DGSPL dynamic global service profile list",
+		joinRecord("gen", fmt.Sprintf("%d", int64(l.GeneratedAt))),
+	}
+	for _, e := range l.Entries {
+		lines = append(lines, joinRecord("svc",
+			escape(e.Server), escape(e.ServerType), escape(e.OS), itoa(e.CPUs), itoa(e.MemoryMB),
+			escape(e.AppName), escape(e.AppType), escape(e.AppVersion),
+			ftoa(e.Load), itoa(e.Users), escape(e.Geo), escape(e.Site), escape(e.State),
+			itoa(e.JobsRunning), itoa(e.JobsWaiting), itoa(e.JobLimit)))
+	}
+	return lines
+}
+
+// DecodeDGSPL parses lines produced by Encode.
+func DecodeDGSPL(lines []string) (*DGSPL, error) {
+	l := &DGSPL{}
+	for i, line := range lines {
+		if isComment(line) {
+			continue
+		}
+		f := splitRecord(line)
+		switch f[0] {
+		case "gen":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("ontology: DGSPL line %d: gen wants 2 fields", i+1)
+			}
+			var gen int64
+			if _, err := fmt.Sscanf(f[1], "%d", &gen); err != nil {
+				return nil, fmt.Errorf("ontology: DGSPL line %d: bad timestamp", i+1)
+			}
+			l.GeneratedAt = simclock.Time(gen)
+		case "svc":
+			if len(f) != 17 {
+				return nil, fmt.Errorf("ontology: DGSPL line %d: svc wants 17 fields, got %d", i+1, len(f))
+			}
+			var e DGSPLEntry
+			var err error
+			e.Server = unescape(f[1])
+			e.ServerType = unescape(f[2])
+			e.OS = unescape(f[3])
+			if e.CPUs, err = parseInt(f[4], "cpus"); err != nil {
+				return nil, err
+			}
+			if e.MemoryMB, err = parseInt(f[5], "memMB"); err != nil {
+				return nil, err
+			}
+			e.AppName = unescape(f[6])
+			e.AppType = unescape(f[7])
+			e.AppVersion = unescape(f[8])
+			if e.Load, err = parseFloat(f[9], "load"); err != nil {
+				return nil, err
+			}
+			if e.Users, err = parseInt(f[10], "users"); err != nil {
+				return nil, err
+			}
+			e.Geo = unescape(f[11])
+			e.Site = unescape(f[12])
+			e.State = unescape(f[13])
+			if e.JobsRunning, err = parseInt(f[14], "jobsRunning"); err != nil {
+				return nil, err
+			}
+			if e.JobsWaiting, err = parseInt(f[15], "jobsWaiting"); err != nil {
+				return nil, err
+			}
+			if e.JobLimit, err = parseInt(f[16], "jobLimit"); err != nil {
+				return nil, err
+			}
+			l.Entries = append(l.Entries, e)
+		default:
+			return nil, fmt.Errorf("ontology: DGSPL line %d: unknown record %q", i+1, f[0])
+		}
+	}
+	return l, nil
+}

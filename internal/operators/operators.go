@@ -1,0 +1,111 @@
+// Package operators models the human side of the paper's "before" year:
+// operators watching BMC Patrol/SystemEdge consoles, on-call administrators
+// paged at night, escalation chains, and manual diagnosis and repair.
+//
+// The paper gives the timing constants directly (§4): faults took about 1
+// hour to notice during the day, about 25 hours over weekends and about 10
+// hours for overnight jobs (customer data from BMC Patrol); a service or
+// server restart could take up to 2 hours because faults had to be
+// diagnosed first; and when remote diagnosis failed and experts had to come
+// in, the whole troubleshooting procedure averaged 4 hours.
+package operators
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Timing is the manual-operations timing model. Zero fields fall back to
+// the paper's constants via DefaultTiming.
+type Timing struct {
+	// Mean detection delays by window (paper's customer data).
+	DetectDay       simclock.Time
+	DetectOvernight simclock.Time
+	DetectWeekend   simclock.Time
+	// Repair paths: a diagnosed restart takes up to RestartMax (uniform
+	// over [RestartMin, RestartMax]); when escalation to on-site experts is
+	// needed the whole procedure averages EscalatedMean.
+	RestartMin    simclock.Time
+	RestartMax    simclock.Time
+	EscalatedMean simclock.Time
+}
+
+// DefaultTiming returns the paper's constants.
+func DefaultTiming() Timing {
+	return Timing{
+		DetectDay:       1 * simclock.Hour,
+		DetectOvernight: 10 * simclock.Hour,
+		DetectWeekend:   25 * simclock.Hour,
+		RestartMin:      30 * simclock.Minute,
+		RestartMax:      2 * simclock.Hour,
+		EscalatedMean:   4 * simclock.Hour,
+	}
+}
+
+// Team is the manual operations pipeline.
+type Team struct {
+	rng    *simclock.Rand
+	timing Timing
+	// EscalationP is the probability a fault cannot be fixed remotely and
+	// needs the 4-hour expert path, per category.
+	escalationP map[metrics.Category]float64
+}
+
+// NewTeam returns a team with the paper's timing and per-category
+// escalation probabilities reflecting each category's repair complexity.
+func NewTeam(rng *simclock.Rand) *Team {
+	return &Team{
+		rng:    rng,
+		timing: DefaultTiming(),
+		escalationP: map[metrics.Category]float64{
+			metrics.CatMidCrash:       0.45, // crashed databases often needed several experts
+			metrics.CatHuman:          0.30,
+			metrics.CatPerformance:    0.40, // bottleneck hunting is slow by hand
+			metrics.CatFrontEnd:       0.25,
+			metrics.CatLSF:            0.20,
+			metrics.CatFirewallNet:    0.50,
+			metrics.CatHardware:       0.80, // parts and engineers must come on site
+			metrics.CatCompletelyDown: 0.60,
+		},
+	}
+}
+
+// SetTiming overrides the timing model (for ablations).
+func (t *Team) SetTiming(tm Timing) { t.timing = tm }
+
+// Timing returns the current timing model.
+func (t *Team) Timing() Timing { return t.timing }
+
+// DetectionDelay samples how long a fault occurring at 'now' goes unnoticed
+// under manual operations: the window mean (day/overnight/weekend), spread
+// ±50% — operators sometimes spot things fast, sometimes a report sits
+// unread.
+func (t *Team) DetectionDelay(now simclock.Time) simclock.Time {
+	var mean simclock.Time
+	switch {
+	case now.IsWeekend():
+		mean = t.timing.DetectWeekend
+	case now.IsOvernight():
+		mean = t.timing.DetectOvernight
+	default:
+		mean = t.timing.DetectDay
+	}
+	return t.rng.Jitter(mean, 0.5)
+}
+
+// RepairDelay samples how long the manual fix takes once detected: either a
+// diagnosed restart (uniform in [RestartMin, RestartMax]) or, with the
+// category's escalation probability, the expert path (mean EscalatedMean,
+// ±50%).
+func (t *Team) RepairDelay(cat metrics.Category) simclock.Time {
+	if t.rng.Bool(t.escalationP[cat]) {
+		return t.rng.Jitter(t.timing.EscalatedMean, 0.5)
+	}
+	return t.rng.UniformDuration(t.timing.RestartMin, t.timing.RestartMax)
+}
+
+// EscalationP reports the escalation probability for a category.
+func (t *Team) EscalationP(cat metrics.Category) float64 { return t.escalationP[cat] }
+
+// SetEscalationP overrides one category's escalation probability.
+func (t *Team) SetEscalationP(cat metrics.Category, p float64) { t.escalationP[cat] = p }

@@ -1,0 +1,270 @@
+// Package simclock provides a deterministic discrete-event simulation
+// engine: a virtual clock, an event queue ordered by firing time, repeating
+// timers, and a seeded random source. Every stochastic component of the
+// cluster simulation draws from a Rand owned by the Sim so that whole
+// scenarios replay bit-for-bit from a seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time measured as a duration since the simulation epoch.
+type Time time.Duration
+
+// Common simulated durations.
+const (
+	Second = Time(time.Second)
+	Minute = Time(time.Minute)
+	Hour   = Time(time.Hour)
+	Day    = 24 * Hour
+	Week   = 7 * Day
+	Year   = 365 * Day
+)
+
+// Never is a sentinel time later than any schedulable event.
+const Never = Time(math.MaxInt64)
+
+func (t Time) String() string {
+	d := time.Duration(t)
+	days := d / (24 * time.Hour)
+	rem := d % (24 * time.Hour)
+	if days > 0 {
+		return fmt.Sprintf("%dd%s", days, rem)
+	}
+	return rem.String()
+}
+
+// Duration converts a simulated time to a time.Duration since epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Hours reports the time as fractional hours since epoch.
+func (t Time) Hours() float64 { return time.Duration(t).Hours() }
+
+// Minutes reports the time as fractional minutes since epoch.
+func (t Time) Minutes() float64 { return time.Duration(t).Minutes() }
+
+// DayOfWeek reports the day index 0..6 of t, with day 0 being a Monday so
+// that days 5 and 6 form the weekend.
+func (t Time) DayOfWeek() int { return int(t/Day) % 7 }
+
+// IsWeekend reports whether t falls on simulated Saturday or Sunday.
+func (t Time) IsWeekend() bool { return t.DayOfWeek() >= 5 }
+
+// HourOfDay reports the hour-of-day component 0..23 of t.
+func (t Time) HourOfDay() int { return int(t/Hour) % 24 }
+
+// IsOvernight reports whether t falls in the overnight batch window
+// (22:00–06:00), the window the paper's overnight jobs run in.
+func (t Time) IsOvernight() bool {
+	h := t.HourOfDay()
+	return h >= 22 || h < 6
+}
+
+// Event is a scheduled callback. The callback runs exactly once at its
+// firing time unless cancelled first.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break: FIFO among equal times
+	index    int    // heap index, -1 when not queued
+	fn       func(now Time)
+	canceled bool
+	label    string
+}
+
+// At reports the scheduled firing time.
+func (e *Event) At() Time { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *Rand
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator at time zero whose random source is seeded with
+// seed.
+func New(seed uint64) *Sim {
+	return &Sim{rng: NewRand(seed)}
+}
+
+// Now reports the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation-owned random source.
+func (s *Sim) Rand() *Rand { return s.rng }
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet discarded).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Fired reports how many events have executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: that is always a simulation bug.
+func (s *Sim) Schedule(at Time, label string, fn func(now Time)) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simclock: schedule %q at %v before now %v", label, at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, label: label}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run d after the current time.
+func (s *Sim) After(d Time, label string, fn func(now Time)) *Event {
+	return s.Schedule(s.now+d, label, fn)
+}
+
+// Every schedules fn to run first at start and then every period thereafter
+// until the returned Ticker is stopped. A period of zero or less panics.
+func (s *Sim) Every(start, period Time, label string, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("simclock: non-positive ticker period for " + label)
+	}
+	t := &Ticker{sim: s, period: period, label: label, fn: fn}
+	t.ev = s.Schedule(start, label, t.fire)
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim     *Sim
+	period  Time
+	label   string
+	fn      func(now Time)
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) fire(now Time) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if t.stopped { // fn may stop its own ticker
+		return
+	}
+	t.ev = t.sim.Schedule(now+t.period, t.label, t.fire)
+}
+
+// Stop cancels future ticks. It is safe to call from within the tick
+// callback and multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// Period reports the ticker's period.
+func (t *Ticker) Period() Time { return t.period }
+
+// Step executes the next pending event, advancing the clock to its firing
+// time. It reports false when no events remain.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < s.now {
+			panic("simclock: event heap yielded past event")
+		}
+		s.now = e.at
+		s.fired++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in time order until the clock would pass end or
+// the queue drains or Stop is called. The clock finishes at exactly end if
+// it was reached (even if the queue drained earlier), so sampling code can
+// rely on Now() == end afterwards.
+func (s *Sim) RunUntil(end Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.at > end {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		s.fired++
+		e.fn(s.now)
+	}
+	if !s.stopped && s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// Stop halts RunUntil/Run after the current event callback returns.
+func (s *Sim) Stop() { s.stopped = true }

@@ -1,0 +1,201 @@
+// Package workload generates the financial site's offered load (§4):
+// analysts running data mining, financial projections, model evaluations
+// and market-trend simulations interactively during the day; large batch
+// jobs submitted through LSF — with the server hand-picked by the user, the
+// practice whose failure modes motivate the DGSPL — heaviest overnight; and
+// market data feeds arriving around the clock from international sites.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/lsf"
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+// DiurnalShape reports the fraction of peak interactive load offered at t:
+// near zero before 06:00, ramping to 1.0 across the trading day, with a
+// lunchtime dip, decaying in the evening; weekends run at 15%.
+func DiurnalShape(t simclock.Time) float64 {
+	if t.IsWeekend() {
+		return 0.15
+	}
+	h := float64(t.HourOfDay()) + float64(t%simclock.Hour)/float64(simclock.Hour)
+	switch {
+	case h < 6:
+		return 0.05
+	case h < 9:
+		return 0.05 + 0.95*(h-6)/3
+	case h < 17:
+		// Trading day with a shallow lunch dip around 13:00.
+		dip := 0.15 * math.Exp(-(h-13)*(h-13)/2)
+		return 1.0 - dip
+	case h < 22:
+		return 1.0 - 0.85*(h-17)/5
+	default:
+		return 0.15
+	}
+}
+
+// Config sizes the generator.
+type Config struct {
+	// PeakAnalysts is the number of concurrent interactive analysts at the
+	// top of the day, spread over the front-end tier.
+	PeakAnalysts int
+	// DayJobsPerHour is the batch submission rate at peak.
+	DayJobsPerHour float64
+	// OvernightJobs is the size of the 22:00 batch drop.
+	OvernightJobs int
+	// JobWork is the mean job duration on a reference server.
+	JobWork simclock.Time
+	// FeedLoad is constant CPU demand per feed handler host.
+	FeedLoad float64
+}
+
+// DefaultConfig returns a load shape proportionate to the paper's site.
+func DefaultConfig() Config {
+	return Config{
+		PeakAnalysts:   300,
+		DayJobsPerHour: 12,
+		OvernightJobs:  40,
+		JobWork:        2 * simclock.Hour,
+		FeedLoad:       0.6,
+	}
+}
+
+// Generator drives load into a datacentre.
+type Generator struct {
+	sim  *simclock.Sim
+	rng  *simclock.Rand
+	cfg  Config
+	dc   *cluster.Datacentre
+	dir  *svc.Directory
+	lsfc *lsf.Cluster
+
+	dbNames []string // LSF execution targets users pick from
+	jobSeq  int
+
+	// Counters for reports.
+	JobsSubmitted int
+	tickers       []*simclock.Ticker
+}
+
+// New builds a generator over the datacentre. dbNames are the database
+// service names users submit jobs to; pass the LSF cluster's targets.
+func New(sim *simclock.Sim, cfg Config, dc *cluster.Datacentre, dir *svc.Directory,
+	lsfc *lsf.Cluster, dbNames []string) *Generator {
+	return &Generator{
+		sim: sim, rng: sim.Rand().Fork(0x301d), cfg: cfg,
+		dc: dc, dir: dir, lsfc: lsfc, dbNames: dbNames,
+	}
+}
+
+// Start begins offering load: interactive ambience refreshed every 15
+// minutes, day batch submissions hourly-ish, the overnight drop at 22:00,
+// and constant feed load.
+func (g *Generator) Start() {
+	g.tickers = append(g.tickers,
+		g.sim.Every(g.sim.Now(), 15*simclock.Minute, "workload-interactive", g.refreshInteractive))
+	g.tickers = append(g.tickers,
+		g.sim.Every(g.sim.Now()+g.rng.UniformDuration(0, simclock.Hour), simclock.Hour, "workload-dayjobs", g.submitDayJobs))
+	g.tickers = append(g.tickers,
+		g.sim.Every(g.nextTenPM(), simclock.Day, "workload-overnight", g.submitOvernightBatch))
+	g.applyFeedLoad()
+}
+
+// Stop ceases load generation.
+func (g *Generator) Stop() {
+	for _, t := range g.tickers {
+		t.Stop()
+	}
+}
+
+func (g *Generator) nextTenPM() simclock.Time {
+	now := g.sim.Now()
+	today := now - now%simclock.Day + 22*simclock.Hour
+	if today <= now {
+		today += simclock.Day
+	}
+	return today
+}
+
+// refreshInteractive retargets ambient load on front-end and database
+// hosts to the diurnal shape: analysts hammering GUIs and ad-hoc queries.
+func (g *Generator) refreshInteractive(now simclock.Time) {
+	shape := DiurnalShape(now)
+	fe := g.dc.ByRole(cluster.RoleFrontEnd)
+	db := g.dc.ByRole(cluster.RoleDatabase)
+	tx := g.dc.ByRole(cluster.RoleTransaction)
+	for _, h := range fe {
+		if h.Up() {
+			// Analysts spread evenly; each costs ~0.02 CPUs on the front end.
+			perHost := float64(g.cfg.PeakAnalysts) / float64(len(fe))
+			h.SetAmbientLoad(shape * perHost * 0.02 * g.rng.Jitterf(0.2))
+		}
+	}
+	for _, h := range db {
+		if h.Up() {
+			// Ad-hoc queries: a modest share of each database box.
+			h.SetAmbientLoad(shape * 0.25 * float64(h.Model.CPUs) * g.rng.Jitterf(0.3))
+		}
+	}
+	for _, h := range tx {
+		if h.Up() {
+			h.SetAmbientLoad(shape * 0.3 * float64(h.Model.CPUs) * g.rng.Jitterf(0.25))
+		}
+	}
+}
+
+// submitDayJobs trickles batch work during the day.
+func (g *Generator) submitDayJobs(now simclock.Time) {
+	if g.lsfc == nil || len(g.dbNames) == 0 {
+		return
+	}
+	n := int(g.cfg.DayJobsPerHour * DiurnalShape(now) * g.rng.Jitterf(0.3))
+	for i := 0; i < n; i++ {
+		g.submitOne(now, false)
+	}
+}
+
+// submitOvernightBatch drops the big overnight run at 22:00 — the jobs
+// whose mid-run database crashes dominate the paper's downtime.
+func (g *Generator) submitOvernightBatch(now simclock.Time) {
+	if g.lsfc == nil || len(g.dbNames) == 0 {
+		return
+	}
+	for i := 0; i < g.cfg.OvernightJobs; i++ {
+		g.submitOne(now, true)
+	}
+}
+
+// submitOne submits a job the way the site's users did: hand-picking a
+// database server. Users are imperfect: mostly they pick a random server
+// (no knowledge of current load), which is exactly the behaviour the paper
+// blames for overloaded servers crashing mid-job.
+func (g *Generator) submitOne(now simclock.Time, overnight bool) {
+	g.jobSeq++
+	name := fmt.Sprintf("analysis-%d", g.jobSeq)
+	user := fmt.Sprintf("analyst%d", g.rng.Intn(50)+1)
+	target := g.dbNames[g.rng.Intn(len(g.dbNames))]
+	work := g.rng.Jitter(g.cfg.JobWork, 0.5)
+	cpu := 0.5 + g.rng.Float64()*1.5
+	mem := 128 + g.rng.Float64()*512
+	if overnight {
+		work *= 2
+		cpu *= 1.5
+	}
+	g.lsfc.Submit(name, user, target, cpu, mem, 0.1, work)
+	g.JobsSubmitted++
+}
+
+// applyFeedLoad puts steady demand on transaction hosts for market feeds.
+func (g *Generator) applyFeedLoad() {
+	for _, h := range g.dc.ByRole(cluster.RoleTransaction) {
+		if h.Up() {
+			h.AddDiskActivity(0.2)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/lsf"
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	night := DiurnalShape(2 * simclock.Hour)
+	morning := DiurnalShape(8 * simclock.Hour)
+	midday := DiurnalShape(11 * simclock.Hour)
+	evening := DiurnalShape(19 * simclock.Hour)
+	weekend := DiurnalShape(5*simclock.Day + 11*simclock.Hour)
+	if !(night < morning && morning < midday) {
+		t.Errorf("ramp broken: %v %v %v", night, morning, midday)
+	}
+	if !(evening < midday) {
+		t.Errorf("evening should decay: %v vs %v", evening, midday)
+	}
+	if weekend != 0.15 {
+		t.Errorf("weekend = %v", weekend)
+	}
+	for h := simclock.Time(0); h < simclock.Day; h += 30 * simclock.Minute {
+		v := DiurnalShape(h)
+		if v < 0 || v > 1 {
+			t.Fatalf("shape out of range at %v: %v", h, v)
+		}
+	}
+}
+
+type rig struct {
+	sim  *simclock.Sim
+	dc   *cluster.Datacentre
+	dir  *svc.Directory
+	lsfc *lsf.Cluster
+	gen  *Generator
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sim := simclock.New(41)
+	dc := cluster.NewDatacentre()
+	dir := svc.NewDirectory()
+	var dbNames []string
+	for i := 0; i < 4; i++ {
+		name := "db" + string(rune('A'+i))
+		h := cluster.NewHost(sim, name, "ip", cluster.ModelE4500, cluster.RoleDatabase, "l", "UK")
+		dc.Add(h)
+		s, _ := svc.New(sim, svc.OracleSpec("ORA-"+string(rune('A'+i)), 1521), h)
+		dir.Add(s)
+		s.Start(nil)
+		dbNames = append(dbNames, s.Spec.Name)
+	}
+	for i := 0; i < 3; i++ {
+		dc.Add(cluster.NewHost(sim, "fe"+string(rune('A'+i)), "ip", cluster.ModelSP2, cluster.RoleFrontEnd, "l", "UK"))
+	}
+	dc.Add(cluster.NewHost(sim, "tx1", "ip", cluster.ModelHPK, cluster.RoleTransaction, "l", "UK"))
+	sim.RunUntil(10 * simclock.Minute)
+	lsfc := lsf.NewCluster(sim, dir)
+	for _, n := range dbNames {
+		lsfc.SetSlotLimit(n, 6)
+	}
+	cfg := DefaultConfig()
+	cfg.OvernightJobs = 10
+	cfg.DayJobsPerHour = 6
+	gen := New(sim, cfg, dc, dir, lsfc, dbNames)
+	return &rig{sim: sim, dc: dc, dir: dir, lsfc: lsfc, gen: gen}
+}
+
+func TestInteractiveLoadFollowsShape(t *testing.T) {
+	r := newRig(t)
+	// Interactive ambience only: no batch jobs muddying the night hours.
+	cfg := DefaultConfig()
+	cfg.DayJobsPerHour = 0
+	cfg.OvernightJobs = 0
+	r.gen = New(r.sim, cfg, r.dc, r.dir, r.lsfc, nil)
+	r.gen.Start()
+	// Midday on a weekday.
+	r.sim.RunUntil(11 * simclock.Hour)
+	dayUtil := r.dc.Host("dbA").CPUUtilisation()
+	// Small hours.
+	r.sim.RunUntil(simclock.Day + 3*simclock.Hour)
+	nightUtil := r.dc.Host("dbA").CPUUtilisation()
+	if dayUtil <= nightUtil {
+		t.Errorf("diurnal load inverted: day=%v night=%v", dayUtil, nightUtil)
+	}
+	if fe := r.dc.Host("feA").CPUUtilisation(); fe == 0 {
+		t.Error("front-end hosts should carry analyst load at midday")
+	}
+}
+
+func TestOvernightBatchDrop(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	r.sim.RunUntil(21*simclock.Hour + 30*simclock.Minute)
+	before := r.gen.JobsSubmitted
+	r.sim.RunUntil(22*simclock.Hour + 10*simclock.Minute)
+	dropped := r.gen.JobsSubmitted - before
+	if dropped < 10 {
+		t.Errorf("overnight drop submitted %d jobs, want >= 10", dropped)
+	}
+}
+
+func TestJobsEventuallyComplete(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	r.sim.RunUntil(2 * simclock.Day)
+	counts := r.lsfc.CountByState()
+	if counts[lsf.JobDone] == 0 {
+		t.Errorf("no jobs completed in 2 days: %v", counts)
+	}
+	if r.gen.JobsSubmitted == 0 {
+		t.Fatal("no jobs submitted")
+	}
+}
+
+func TestManualSelectionSpreadsAcrossServers(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	r.sim.RunUntil(3 * simclock.Day)
+	targets := map[string]bool{}
+	for _, j := range r.lsfc.Jobs() {
+		if j.WantServer != "" {
+			targets[j.WantServer] = true
+		}
+	}
+	if len(targets) < 3 {
+		t.Errorf("manual selection hit only %d servers", len(targets))
+	}
+}
+
+func TestStopCeasesSubmission(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	r.sim.RunUntil(simclock.Day)
+	r.gen.Stop()
+	n := r.gen.JobsSubmitted
+	r.sim.RunUntil(2 * simclock.Day)
+	if r.gen.JobsSubmitted != n {
+		t.Error("generator kept submitting after Stop")
+	}
+}
+
+func TestFeedLoadOnTransactionHosts(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	if r.dc.Host("tx1").IOStat().BusyPct == 0 {
+		t.Error("feed load should keep transaction disks busy")
+	}
+}

@@ -1,0 +1,256 @@
+package qoscluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+func TestBuildSiteStructure(t *testing.T) {
+	site := BuildSite(SmallSite(1), Options{Mode: ModeManual})
+	spec := SmallSite(1)
+	wantHosts := spec.DatabaseHosts + spec.TransactionHosts + spec.FrontEndHosts
+	if site.DC.Size() != wantHosts {
+		t.Errorf("hosts = %d, want %d", site.DC.Size(), wantHosts)
+	}
+	// Every database host runs a database service plus LSF daemons.
+	for _, h := range site.DC.ByRole(cluster.RoleDatabase) {
+		services := site.Dir.OnHost(h.Name)
+		if len(services) != 2 {
+			t.Errorf("%s services = %d, want 2", h.Name, len(services))
+		}
+	}
+	// All services started during build.
+	for _, sv := range site.Dir.All() {
+		if !sv.Running() {
+			t.Errorf("%s not running after build: %v", sv.Spec.Name, sv.State())
+		}
+	}
+	// LSF slot limits configured for every database service.
+	for _, name := range []string{"ORA-001", "ORA-002"} {
+		if site.LSF.SlotLimit(name) == 0 {
+			t.Errorf("no slot limit for %s", name)
+		}
+	}
+}
+
+func TestPaperSiteCounts(t *testing.T) {
+	spec := PaperSite(1)
+	if spec.DatabaseHosts != 100 || spec.TransactionHosts != 55 || spec.FrontEndHosts != 60 {
+		t.Errorf("paper site counts drifted: %+v", spec)
+	}
+}
+
+func TestAgentModeAddsAdminTier(t *testing.T) {
+	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents})
+	site.Run(simclock.Hour)
+	if site.Admin == nil {
+		t.Fatal("admin pair missing")
+	}
+	if len(site.Agents) == 0 {
+		t.Fatal("no agents deployed")
+	}
+	// Lean set: services + status + performance + network per host.
+	perHost := map[string]int{}
+	for _, a := range site.Agents {
+		perHost[a.Host().Name]++
+	}
+	for _, h := range site.DC.ByRole(cluster.RoleDatabase) {
+		if perHost[h.Name] != 5 { // 2 service agents + status + perf + network
+			t.Errorf("%s agents = %d, want 5", h.Name, perHost[h.Name])
+		}
+	}
+}
+
+func TestAgentsFullSet(t *testing.T) {
+	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents, AgentSet: AgentsFull})
+	site.Run(simclock.Hour)
+	perHost := map[string]int{}
+	for _, a := range site.Agents {
+		perHost[a.Host().Name]++
+	}
+	for _, h := range site.DC.ByRole(cluster.RoleFrontEnd) {
+		// 1 service + status+perf+net + cpu+mem+disk+hw + end-to-end
+		if perHost[h.Name] != 9 {
+			t.Errorf("%s agents = %d, want 9", h.Name, perHost[h.Name])
+		}
+	}
+	for _, h := range site.DC.ByRole(cluster.RoleDatabase) {
+		// 2 service + status+perf+net + cpu+mem+disk+hw + database
+		if perHost[h.Name] != 10 {
+			t.Errorf("%s agents = %d, want 10", h.Name, perHost[h.Name])
+		}
+	}
+}
+
+func TestManualYearShape(t *testing.T) {
+	site := BuildSite(SmallSite(7), Options{Mode: ModeManual})
+	site.Run(120 * simclock.Day)
+	r := site.Report()
+	if r.Total < 50*simclock.Hour {
+		t.Errorf("manual 120d downtime = %v, suspiciously low", r.Total)
+	}
+	if r.DowntimeHours(metrics.CatMidCrash) < r.DowntimeHours(metrics.CatLSF) {
+		t.Error("mid-crash should dominate LSF downtime")
+	}
+	if r.MeanDetect < 30*simclock.Minute {
+		t.Errorf("manual detection mean = %v, too fast", r.MeanDetect)
+	}
+	if r.Resubmitted != 0 {
+		t.Error("manual mode must not resubmit jobs")
+	}
+}
+
+func TestAgentShortRunDetectsAndRepairs(t *testing.T) {
+	site := BuildSite(SmallSite(7), Options{Mode: ModeAgents})
+	site.Run(10 * simclock.Day)
+	r := site.Report()
+	if r.AgentRuns == 0 {
+		t.Fatal("agents never ran")
+	}
+	// Whatever faults arrived must be detected fast.
+	if len(site.Ledger.Incidents()) > 0 {
+		if r.MeanDetect > 15*simclock.Minute {
+			t.Errorf("agent detection mean = %v, want minutes", r.MeanDetect)
+		}
+	}
+	// Downtime rate must be a small fraction of the manual mode's.
+	manual := BuildSite(SmallSite(7), Options{Mode: ModeManual})
+	manual.Run(10 * simclock.Day)
+	if manual.Ledger.TotalDowntime(manual.Sim.Now()) > 0 && r.Total > 0 {
+		ratio := float64(manual.Ledger.TotalDowntime(manual.Sim.Now())) / float64(r.Total)
+		if ratio < 2 {
+			t.Errorf("agents only %.1fx better over 15d; expected much more", ratio)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Report {
+		site := BuildSite(SmallSite(99), Options{Mode: ModeManual})
+		site.Run(60 * simclock.Day)
+		return site.Report()
+	}
+	a, b := run(), run()
+	if a.Total != b.Total || a.JobsDone != b.JobsDone || a.MeanDetect != b.MeanDetect {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	s1 := BuildSite(SmallSite(1), Options{Mode: ModeManual})
+	s1.Run(90 * simclock.Day)
+	s2 := BuildSite(SmallSite(2), Options{Mode: ModeManual})
+	s2.Run(90 * simclock.Day)
+	if s1.Report().Total == s2.Report().Total {
+		t.Error("different seeds should give different years")
+	}
+}
+
+func TestNoFaultsNoDowntime(t *testing.T) {
+	site := BuildSite(SmallSite(1), Options{Mode: ModeManual, Faults: []faultinject.Spec{}})
+	site.Run(30 * simclock.Day)
+	if got := site.Report().Total; got != 0 {
+		t.Errorf("downtime with no faults = %v", got)
+	}
+	if site.Report().JobsDone == 0 {
+		t.Error("workload should still run")
+	}
+}
+
+func TestNoBatchRescueAblation(t *testing.T) {
+	midOnly := []faultinject.Spec{{
+		Category: metrics.CatMidCrash, MeanInterarrival: 2 * simclock.Day,
+		Window: faultinject.Overnight,
+	}}
+	with := BuildSite(SmallSite(5), Options{Mode: ModeAgents, Faults: midOnly})
+	with.Run(8 * simclock.Day)
+	without := BuildSite(SmallSite(5), Options{Mode: ModeAgents, Faults: midOnly, NoBatchRescue: true})
+	without.Run(8 * simclock.Day)
+	rw, rwo := with.Report(), without.Report()
+	if rw.Resubmitted == 0 {
+		t.Error("batch rescue should resubmit failed jobs")
+	}
+	if rwo.Resubmitted != 0 {
+		t.Error("NoBatchRescue should disable resubmission")
+	}
+	if rwo.JobsFailed <= rw.JobsFailed {
+		t.Errorf("without rescue more jobs should stay failed: with=%d without=%d",
+			rw.JobsFailed, rwo.JobsFailed)
+	}
+}
+
+func TestDisablePrivateNet(t *testing.T) {
+	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents, DisablePrivateNet: true})
+	site.Run(simclock.Day)
+	if site.Private != nil {
+		t.Fatal("private network should be absent")
+	}
+	if site.Public.Stats().Bytes == 0 {
+		t.Error("agent traffic should ride the public LAN")
+	}
+	if site.Admin.DLSPReceived == 0 {
+		t.Error("DLSPs should still arrive over the public LAN")
+	}
+}
+
+func TestPrivateNetCarriesAgentTraffic(t *testing.T) {
+	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents})
+	site.Run(simclock.Day)
+	if site.Private.Stats().Bytes == 0 {
+		t.Error("private network should carry the agent traffic")
+	}
+	// The public LAN carries none of it while the private net is healthy.
+	if site.Public.Stats().Bytes != 0 {
+		t.Errorf("public LAN carried %d agent bytes", site.Public.Stats().Bytes)
+	}
+}
+
+func TestCronPeriodAblationDirection(t *testing.T) {
+	fault := []faultinject.Spec{{
+		Category: metrics.CatHuman, MeanInterarrival: 36 * simclock.Hour,
+		Window: faultinject.AnyTime,
+	}}
+	fast := BuildSite(SmallSite(3), Options{Mode: ModeAgents, CronPeriod: 2 * simclock.Minute, Faults: fault})
+	fast.Run(6 * simclock.Day)
+	slow := BuildSite(SmallSite(3), Options{Mode: ModeAgents, CronPeriod: simclock.Hour, Faults: fault})
+	slow.Run(6 * simclock.Day)
+	rf, rs := fast.Report(), slow.Report()
+	if rf.MeanDetect >= rs.MeanDetect {
+		t.Errorf("shorter cron should detect faster: 1m->%v 60m->%v", rf.MeanDetect, rs.MeanDetect)
+	}
+	if rf.Total >= rs.Total {
+		t.Errorf("shorter cron should reduce downtime: 1m->%v 60m->%v", rf.Total, rs.Total)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	site := BuildSite(SmallSite(7), Options{Mode: ModeManual})
+	site.Run(30 * simclock.Day)
+	out := site.Report().Format()
+	for _, want := range []string{"mid-crash", "TOTAL", "detection:", "batch:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultFaultSpecsCoverAllCategories(t *testing.T) {
+	specs := DefaultFaultSpecs()
+	seen := map[metrics.Category]bool{}
+	for _, sp := range specs {
+		seen[sp.Category] = true
+		if sp.MeanInterarrival <= 0 {
+			t.Errorf("%s has no rate", sp.Category)
+		}
+	}
+	for _, cat := range metrics.Categories {
+		if !seen[cat] {
+			t.Errorf("category %s missing from default campaign", cat)
+		}
+	}
+}

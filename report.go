@@ -1,0 +1,106 @@
+package qoscluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lsf"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Report summarises a scenario run in the terms the paper's Section 4
+// reports: downtime hours per error category, detection latencies by time
+// window, incident MTTRs, and batch-job outcomes.
+type Report struct {
+	Mode        Mode
+	At          simclock.Time
+	Rows        []metrics.Summary
+	Total       simclock.Time
+	MeanDetect  simclock.Time
+	P95Detect   simclock.Time
+	DetectDay   simclock.Time // mean detection latency, weekday-day faults
+	DetectNight simclock.Time // mean, overnight faults
+	DetectWkend simclock.Time // mean, weekend faults
+	MeanMTTR    simclock.Time
+	JobsDone    int
+	JobsFailed  int
+	Resubmitted int
+	AgentRuns   int
+	AgentHeals  int
+	Escalations int
+	OpenFaults  int
+}
+
+// Report computes the current summary.
+func (s *Site) Report() Report {
+	now := s.Sim.Now()
+	r := Report{
+		Mode:  s.Opts.Mode,
+		At:    now,
+		Rows:  s.Ledger.Summaries(now),
+		Total: s.Ledger.TotalDowntime(now),
+	}
+	lats := s.Ledger.DetectionLatencies(nil)
+	r.MeanDetect = metrics.Mean(lats)
+	r.P95Detect = metrics.Percentile(lats, 0.95)
+	r.DetectDay = metrics.Mean(s.Ledger.DetectionLatencies(func(i *metrics.Incident) bool {
+		return !i.StartedAt.IsWeekend() && !i.StartedAt.IsOvernight()
+	}))
+	r.DetectNight = metrics.Mean(s.Ledger.DetectionLatencies(func(i *metrics.Incident) bool {
+		return i.StartedAt.IsOvernight() && !i.StartedAt.IsWeekend()
+	}))
+	r.DetectWkend = metrics.Mean(s.Ledger.DetectionLatencies(func(i *metrics.Incident) bool {
+		return i.StartedAt.IsWeekend()
+	}))
+	r.MeanMTTR = metrics.Mean(s.Ledger.MTTRs(nil))
+	counts := s.LSF.CountByState()
+	r.JobsDone = counts[lsf.JobDone]
+	r.JobsFailed = counts[lsf.JobFailed]
+	if s.Admin != nil {
+		r.Resubmitted = s.Admin.Resubmissions
+	}
+	for _, a := range s.Agents {
+		c := a.Counters()
+		r.AgentRuns += c.Runs
+		r.AgentHeals += c.Healed
+		r.Escalations += c.Escalated
+	}
+	r.OpenFaults = s.Registry.OpenCount()
+	return r
+}
+
+// Format renders the report as the Figure-2-style table plus the latency
+// and batch lines.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s operations, %.0f simulated days ===\n", r.Mode, r.At.Hours()/24)
+	fmt.Fprintf(&b, "%-16s %10s %10s\n", "category", "incidents", "hours")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %10d %10.1f\n", row.Category, row.Incidents, row.Downtime.Hours())
+	}
+	fmt.Fprintf(&b, "%-16s %10s %10.1f\n", "TOTAL", "", r.Total.Hours())
+	fmt.Fprintf(&b, "detection: mean=%v p95=%v day=%v overnight=%v weekend=%v\n",
+		round(r.MeanDetect), round(r.P95Detect), round(r.DetectDay), round(r.DetectNight), round(r.DetectWkend))
+	fmt.Fprintf(&b, "repair:    mean MTTR=%v\n", round(r.MeanMTTR))
+	fmt.Fprintf(&b, "batch:     done=%d failed=%d resubmitted=%d\n", r.JobsDone, r.JobsFailed, r.Resubmitted)
+	if r.Mode == ModeAgents {
+		fmt.Fprintf(&b, "agents:    runs=%d heals=%d escalations=%d open-faults=%d\n",
+			r.AgentRuns, r.AgentHeals, r.Escalations, r.OpenFaults)
+	}
+	return b.String()
+}
+
+func round(t simclock.Time) simclock.Time {
+	return t - t%simclock.Time(1e9) // whole seconds
+}
+
+// DowntimeHours returns one category's downtime in hours.
+func (r Report) DowntimeHours(cat metrics.Category) float64 {
+	for _, row := range r.Rows {
+		if row.Category == cat {
+			return row.Downtime.Hours()
+		}
+	}
+	return 0
+}
