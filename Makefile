@@ -1,0 +1,40 @@
+# Local targets mirror CI (.github/workflows/ci.yml) exactly, so a green
+# `make lint test-race bench campaign-smoke` locally means a green build.
+
+GO ?= go
+PKGS := ./...
+
+.PHONY: all build test test-race bench lint fmt campaign-smoke clean
+
+all: lint build test
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+test-race:
+	$(GO) test -race -timeout 30m $(PKGS)
+
+# One iteration of every benchmark: exercises each figure's hot path and
+# prints its headline metric without burning CI minutes.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' $(PKGS)
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet $(PKGS)
+
+fmt:
+	gofmt -w .
+
+# A short real campaign whose JSON summary feeds the perf trajectory; CI
+# uploads campaign-smoke.json as a build artifact.
+campaign-smoke:
+	$(GO) run ./cmd/qossim campaign -trials 4 -workers 4 -days 14 -seed 7 \
+		-out campaign-smoke.json fig2
+
+clean:
+	rm -f campaign-smoke.json bench.txt

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	qossim [-seed N] [-days D] [-site small|paper] <scenario>
+//	qossim campaign [-trials N] [-workers W] [-seed N] [-days D]
+//	                [-site small|paper] [-json] [-out FILE] [<name>]
 //
 // Scenarios:
 //
@@ -15,22 +17,34 @@
 //	latency  detection-latency table (§4: 5 min vs 1 h / 10 h / 25 h)
 //	mttr     manual incident repair times (§4: restarts up to 2 h, 4 h avg)
 //	ablate   cron-period and resubmission-policy ablations
+//
+// The campaign subcommand replays a scenario matrix across many seeds in
+// parallel (one goroutine per trial, pool bounded by NumCPU) and reports
+// mean ± 95%-CI aggregates instead of a single stochastic trajectory.
+// Campaign names: before, after, fig2 (default), fig3, fig4, overhead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	qoscluster "repro"
 	"repro/experiments"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		runCampaign(os.Args[2:])
+		return
+	}
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	days := flag.Int("days", 365, "simulated days for year scenarios")
 	site := flag.String("site", "small", "site size: small or paper")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qossim [flags] before|after|fig2|fig3|fig4|latency|mttr|ablate\n")
+		fmt.Fprintf(os.Stderr, "       qossim campaign -help\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,4 +59,59 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+}
+
+// runCampaign is the multi-seed parallel mode: it fans trials over a
+// worker pool and prints aggregate tables (or the canonical JSON record).
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	seed := fs.Uint64("seed", 7, "base seed; trial i of each cell uses seed+i")
+	trials := fs.Int("trials", 16, "seeds per matrix cell")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	days := fs.Int("days", 365, "simulated days per trial")
+	site := fs.String("site", "small", "site size: small or paper")
+	jsonOut := fs.Bool("json", false, "print the machine-readable campaign JSON instead of tables")
+	outFile := fs.String("out", "", "also write the campaign JSON to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qossim campaign [flags] [before|after|fig2|fig3|fig4|overhead]\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	name := "fig2"
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		name = fs.Arg(0)
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper"}
+	res, err := experiments.Campaign(name, cfg, *trials, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim campaign:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: %d trials on %d workers in %s (est. serial cost %s, est. speedup %.1fx)\n",
+		res.Name, len(res.Trials), res.Workers, res.Wall.Round(10*time.Millisecond),
+		res.SerialTime().Round(10*time.Millisecond), res.Speedup())
+	js, err := res.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim campaign: marshal:", err)
+		os.Exit(1)
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, append(js, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim campaign:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(append(js, '\n'))
+	} else {
+		fmt.Print(qoscluster.FormatCampaign(res))
+	}
+	if len(res.Errs()) > 0 {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	qoscluster "repro"
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Campaign runs the multi-trial variant of a named scenario: `trials`
+// consecutive seeds (starting at cfg.Seed) of each matrix cell, fanned
+// across `workers` goroutines, folded into mean/min/max/95%-CI aggregates.
+// Every trial builds its own site around its own simclock.Sim, so per-seed
+// results are identical whatever the worker count.
+//
+// Names: "before" and "after" sweep one operations mode, "fig2" (the
+// default) sweeps both on the same seeds, "fig3"/"fig4"/"overhead" sweep
+// the monitor-overhead rig.
+func Campaign(name string, cfg Config, trials, workers int) (*campaign.Result, error) {
+	if trials <= 0 {
+		trials = 8
+	}
+	m, err := CampaignMatrix(name, cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Run(name, m, workers, RunTrial)
+}
+
+// CampaignMatrix translates a scenario name into the campaign axes it
+// sweeps.
+func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error) {
+	m := campaign.Matrix{
+		Seeds: campaign.Seeds(cfg.Seed, trials),
+		Sites: []string{cfg.siteName()},
+		Days:  cfg.days(),
+	}
+	switch name {
+	case "", "fig2":
+		m.Scenarios = []string{"year"}
+		m.Modes = []string{"manual", "agents"}
+	case "before":
+		m.Scenarios = []string{"year"}
+		m.Modes = []string{"manual"}
+	case "after":
+		m.Scenarios = []string{"year"}
+		m.Modes = []string{"agents"}
+	case "fig3", "fig4", "overhead":
+		// "overhead" is one scenario reporting both the CPU and memory
+		// series: the rig produces both in a single run, so splitting it
+		// into fig3+fig4 cells would simulate everything twice.
+		m.Scenarios = []string{name}
+	default:
+		return campaign.Matrix{}, fmt.Errorf("unknown campaign %q (want before|after|fig2|fig3|fig4|overhead)", name)
+	}
+	return m, nil
+}
+
+func (c Config) siteName() string {
+	if c.PaperSite {
+		return "paper"
+	}
+	return "small"
+}
+
+func (c Config) days() int {
+	if c.Days <= 0 {
+		return 365
+	}
+	return c.Days
+}
+
+// RunTrial executes one campaign trial. It is the campaign.RunFunc for
+// this package's scenarios and is safe for concurrent use: all state lives
+// in the site built here.
+func RunTrial(t campaign.Trial) (map[string]float64, error) {
+	cfg := Config{Seed: t.Seed, Days: t.Days, PaperSite: t.Site == "paper"}
+	switch t.Scenario {
+	case "year":
+		var mode qoscluster.Mode
+		switch t.Mode {
+		case "manual", "":
+			mode = qoscluster.ModeManual
+		case "agents":
+			mode = qoscluster.ModeAgents
+		default:
+			return nil, fmt.Errorf("unknown mode %q", t.Mode)
+		}
+		site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: mode})
+		site.Run(cfg.span())
+		return yearMetrics(site.Report(), cfg.span()), nil
+	case "fig3", "fig4", "overhead":
+		return overheadMetrics(t.Scenario, t.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown campaign scenario %q", t.Scenario)
+	}
+}
+
+// yearMetrics flattens a year-run report into campaign metrics: the
+// Figure-2 category downtimes, the §4 detection/repair latencies, and the
+// batch/agent counters.
+func yearMetrics(r qoscluster.Report, span simclock.Time) map[string]float64 {
+	vals := map[string]float64{
+		"downtime_h/total":   r.Total.Hours(),
+		"availability_pct":   100 * metrics.Availability(r.Total, span),
+		"detect_mean_s":      r.MeanDetect.Duration().Seconds(),
+		"detect_p95_s":       r.P95Detect.Duration().Seconds(),
+		"detect_day_s":       r.DetectDay.Duration().Seconds(),
+		"detect_overnight_s": r.DetectNight.Duration().Seconds(),
+		"detect_weekend_s":   r.DetectWkend.Duration().Seconds(),
+		"mttr_mean_s":        r.MeanMTTR.Duration().Seconds(),
+		"jobs_done":          float64(r.JobsDone),
+		"jobs_failed":        float64(r.JobsFailed),
+		"jobs_resubmitted":   float64(r.Resubmitted),
+		"agent_runs":         float64(r.AgentRuns),
+		"agent_heals":        float64(r.AgentHeals),
+		"escalations":        float64(r.Escalations),
+		"open_faults":        float64(r.OpenFaults),
+	}
+	for _, row := range r.Rows {
+		vals["downtime_h/"+string(row.Category)] = row.Downtime.Hours()
+		vals["incidents/"+string(row.Category)] = float64(row.Incidents)
+	}
+	return vals
+}
+
+// overheadMetrics reruns the Figure-3/4 rig for one seed and reports the
+// mean monitor footprints plus their BMC:agent ratio.
+func overheadMetrics(scenario string, seed uint64) map[string]float64 {
+	bmcCPU, agCPU, bmcMem, agMem := sampleOverhead(seed)
+	vals := map[string]float64{}
+	if scenario != "fig4" {
+		vals["bmc_cpu_pct"] = bmcCPU.Mean()
+		vals["agent_cpu_pct"] = agCPU.Mean()
+		if agCPU.Mean() > 0 {
+			vals["cpu_ratio_x"] = bmcCPU.Mean() / agCPU.Mean()
+		}
+	}
+	if scenario != "fig3" {
+		vals["bmc_mem_mb"] = bmcMem.Mean()
+		vals["agent_mem_mb"] = agMem.Mean()
+		if agMem.Mean() > 0 {
+			vals["mem_ratio_x"] = bmcMem.Mean() / agMem.Mean()
+		}
+	}
+	return vals
+}

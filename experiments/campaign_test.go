@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCampaignMatrixNames(t *testing.T) {
+	cfg := Config{Seed: 7}
+	m, err := CampaignMatrix("fig2", cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trials()) != 8 { // 4 seeds × {manual, agents}
+		t.Errorf("fig2 matrix wrong: %+v", m)
+	}
+	if m.Days != 365 || m.Sites[0] != "small" {
+		t.Errorf("defaults wrong: %+v", m)
+	}
+	if _, err := CampaignMatrix("bogus", cfg, 4); err == nil {
+		t.Error("unknown campaign name should error")
+	}
+}
+
+// TestCampaignBeforeAfterShort runs a real (short) before/after matrix and
+// checks the aggregates carry the paper's headline metrics.
+func TestCampaignBeforeAfterShort(t *testing.T) {
+	res, err := Campaign("fig2", Config{Seed: 7, Days: 2}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 || len(res.Groups) != 2 {
+		t.Fatalf("want 4 trials in 2 groups, got %d/%d", len(res.Trials), len(res.Groups))
+	}
+	for _, tr := range res.Trials {
+		if tr.Err != "" {
+			t.Fatalf("trial failed: %+v", tr)
+		}
+	}
+	for _, g := range res.Groups {
+		if g.Seeds != 2 {
+			t.Errorf("group %q seeds = %d, want 2", g.Mode, g.Seeds)
+		}
+		for _, key := range []string{"downtime_h/total", "availability_pct", "detect_mean_s", "jobs_done", "downtime_h/mid-crash"} {
+			if _, ok := g.Stats[key]; !ok {
+				t.Errorf("group %q missing metric %q", g.Mode, key)
+			}
+		}
+		av := g.Stats["availability_pct"]
+		if av.Mean < 0 || av.Mean > 100 {
+			t.Errorf("availability out of range: %+v", av)
+		}
+	}
+	if res.Groups[0].Mode != "manual" || res.Groups[1].Mode != "agents" {
+		t.Errorf("group order wrong: %+v", res.Groups)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers is the end-to-end determinism
+// gate on real simulations: the same seed set must serialise
+// byte-identically at one worker and at eight.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		res, err := Campaign("before", Config{Seed: 11, Days: 2}, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("campaign JSON differs between -workers 1 and -workers 8:\n%s\n----\n%s", serial, parallel)
+	}
+}
+
+// TestCampaignOverhead sweeps the Figure-3 rig across seeds.
+func TestCampaignOverhead(t *testing.T) {
+	res, err := Campaign("fig3", Config{Seed: 7}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Groups[0]
+	ratio, ok := g.Stats["cpu_ratio_x"]
+	if !ok || ratio.N != 2 {
+		t.Fatalf("cpu_ratio_x missing: %+v", g)
+	}
+	if ratio.Mean < 5 || ratio.Mean > 40 {
+		t.Errorf("bmc/agent cpu ratio = %.1f, want ~10x", ratio.Mean)
+	}
+	if _, ok := g.Stats["bmc_mem_mb"]; ok {
+		t.Error("fig3 should not report memory metrics")
+	}
+
+	// "overhead" is one scenario reporting both series from a single rig
+	// run per seed.
+	res, err = Campaign("overhead", Config{Seed: 7}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 2 {
+		t.Fatalf("overhead should be one scenario (2 trials), got %d", len(res.Trials))
+	}
+	g = res.Groups[0]
+	for _, key := range []string{"cpu_ratio_x", "mem_ratio_x", "bmc_cpu_pct", "bmc_mem_mb"} {
+		if _, ok := g.Stats[key]; !ok {
+			t.Errorf("overhead missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+)
+
+func close2(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewStatEmptyAndSingleton(t *testing.T) {
+	if s := NewStat(nil); s != (Stat{}) {
+		t.Errorf("empty sample: got %+v, want zero Stat", s)
+	}
+	s := NewStat([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("singleton: got %+v", s)
+	}
+	if s.Stddev != 0 || s.CI95 != 0 {
+		t.Errorf("singleton must have zero spread, got %+v", s)
+	}
+}
+
+// TestNewStatHandFixture checks the CI math against a hand-computed
+// sample: xs = {1,2,3,4,5}.
+//
+//	mean   = 3
+//	stddev = sqrt(((−2)²+(−1)²+0+1²+2²)/4) = sqrt(10/4) = 1.5811388300841898
+//	CI95   = t(df=4) · stddev/√5 = 2.776 · 0.7071067811865476 = 1.9629284285738957
+func TestNewStatHandFixture(t *testing.T) {
+	s := NewStat([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("got %+v", s)
+	}
+	if !close2(s.Mean, 3) {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if !close2(s.Stddev, math.Sqrt(2.5)) {
+		t.Errorf("stddev = %v, want %v", s.Stddev, math.Sqrt(2.5))
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if !close2(s.CI95, want) {
+		t.Errorf("ci95 = %v, want %v", s.CI95, want)
+	}
+}
+
+// TestNewStatTwoPoint pins the df=1 case, whose t critical value (12.706)
+// dwarfs the normal 1.96: xs = {10, 20} ⇒ stddev = 7.0710678…,
+// CI95 = 12.706 · 7.0710678…/√2 = 12.706 · 5 = 63.53.
+func TestNewStatTwoPoint(t *testing.T) {
+	s := NewStat([]float64{10, 20})
+	if !close2(s.Mean, 15) || !close2(s.Stddev, math.Sqrt(50)) {
+		t.Errorf("got %+v", s)
+	}
+	if !close2(s.CI95, 63.53) {
+		t.Errorf("ci95 = %v, want 63.53", s.CI95)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 4: 2.776, 30: 2.042, 31: 1.960, 1000: 1.960}
+	for df, want := range cases {
+		if got := TCrit95(df); got != want {
+			t.Errorf("TCrit95(%d) = %v, want %v", df, got, want)
+		}
+	}
+	if TCrit95(0) != 0 {
+		t.Error("df 0 should yield 0")
+	}
+}
+
+func TestAggregateGroupsAndErrors(t *testing.T) {
+	m := Matrix{Seeds: []uint64{1, 2, 3}, Scenarios: []string{"a", "b"}, Days: 7}
+	trials := m.Trials()
+	if len(trials) != 6 {
+		t.Fatalf("want 6 trials, got %d", len(trials))
+	}
+	var results []TrialResult
+	for _, tr := range trials {
+		r := TrialResult{Trial: tr, Metrics: map[string]float64{"x": float64(tr.Seed)}}
+		if tr.Scenario == "b" && tr.Seed == 2 {
+			r.Err = "boom"
+			r.Metrics = nil
+		}
+		results = append(results, r)
+	}
+	groups := Aggregate(results)
+	if len(groups) != 2 {
+		t.Fatalf("want 2 groups, got %d", len(groups))
+	}
+	if groups[0].Scenario != "a" || groups[1].Scenario != "b" {
+		t.Errorf("groups out of matrix order: %+v", groups)
+	}
+	a, b := groups[0], groups[1]
+	if a.Seeds != 3 || a.Errors != 0 || !close2(a.Stats["x"].Mean, 2) {
+		t.Errorf("group a: %+v", a)
+	}
+	if b.Seeds != 2 || b.Errors != 1 || b.Stats["x"].N != 2 || !close2(b.Stats["x"].Mean, 2) {
+		t.Errorf("group b: %+v", b)
+	}
+	if a.Days != 7 {
+		t.Errorf("days not carried: %+v", a)
+	}
+}

@@ -1,0 +1,227 @@
+// Package campaign runs experiment campaigns: a matrix of
+// {seeds × scenarios × site sizes × modes} fanned across a bounded worker
+// pool, with per-trial metrics folded into statistical aggregates
+// (mean / min / max / 95% confidence interval across seeds).
+//
+// The package is deliberately generic: a Trial is a coordinate in the
+// matrix, and the caller supplies a RunFunc that executes one trial and
+// returns flat named metrics. Each RunFunc invocation is expected to build
+// its own simulation (own simclock.Sim, own site), so trials share no
+// state and parallelise embarrassingly: per-seed results are bit-for-bit
+// identical regardless of worker count or completion order.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Trial is one coordinate of the campaign matrix. Axes the matrix does not
+// sweep are left as their zero values.
+type Trial struct {
+	Index    int    `json:"index"`
+	Seed     uint64 `json:"seed"`
+	Scenario string `json:"scenario,omitempty"`
+	Site     string `json:"site,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	Days     int    `json:"days,omitempty"`
+}
+
+// Matrix enumerates the campaign: the cross product of its axes, one Trial
+// per combination. Empty axes contribute a single zero-valued coordinate,
+// so a plain multi-seed sweep is just Matrix{Seeds: Seeds(7, 16)}.
+type Matrix struct {
+	Seeds     []uint64 `json:"seeds"`
+	Scenarios []string `json:"scenarios,omitempty"`
+	Sites     []string `json:"sites,omitempty"`
+	Modes     []string `json:"modes,omitempty"`
+	Days      int      `json:"days,omitempty"`
+}
+
+// Seeds returns n sequential seeds starting at base — the conventional way
+// to name a campaign's replications.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, base+uint64(i))
+	}
+	return out
+}
+
+func orBlank(xs []string) []string {
+	if len(xs) == 0 {
+		return []string{""}
+	}
+	return xs
+}
+
+// Trials enumerates the cross product in deterministic order: scenario
+// outermost, then site, then mode, with the seed axis innermost so that
+// one aggregation group's trials are contiguous.
+func (m Matrix) Trials() []Trial {
+	var out []Trial
+	for _, sc := range orBlank(m.Scenarios) {
+		for _, site := range orBlank(m.Sites) {
+			for _, mode := range orBlank(m.Modes) {
+				for _, seed := range m.Seeds {
+					out = append(out, Trial{
+						Index: len(out), Seed: seed, Scenario: sc,
+						Site: site, Mode: mode, Days: m.Days,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunFunc executes one trial and returns its scalar metrics keyed by name
+// (e.g. "downtime_h/mid-crash"). It must be safe for concurrent use from
+// multiple goroutines and must derive all randomness from the trial's
+// seed so that results do not depend on scheduling.
+type RunFunc func(Trial) (map[string]float64, error)
+
+// TrialResult is one executed trial. Elapsed is wall-clock measurement
+// noise and therefore excluded from the JSON form, which must be
+// byte-identical across worker counts.
+type TrialResult struct {
+	Trial   Trial              `json:"trial"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Err     string             `json:"error,omitempty"`
+	Elapsed time.Duration      `json:"-"`
+}
+
+// Result is a completed campaign: the matrix, every trial in matrix
+// order, and the per-group statistical aggregates. The JSON form is the
+// machine-readable campaign record (the BENCH_*.json trajectory feeds on
+// it); wall-clock fields are deliberately excluded so identical campaigns
+// serialise identically.
+type Result struct {
+	Name    string        `json:"name,omitempty"`
+	Matrix  Matrix        `json:"matrix"`
+	Trials  []TrialResult `json:"trials"`
+	Groups  []Group       `json:"groups"`
+	Workers int           `json:"-"`
+	Wall    time.Duration `json:"-"`
+}
+
+// JSON renders the result in its canonical machine-readable form.
+// encoding/json sorts map keys, so the bytes are deterministic for
+// identical trial metrics.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// SerialTime sums per-trial wall time: an estimate of the cost the
+// campaign would have paid running serially. On an oversubscribed
+// machine (workers > cores) per-trial elapsed includes time spent
+// descheduled, so this overestimates; with workers ≤ cores it is close.
+func (r *Result) SerialTime() time.Duration {
+	var sum time.Duration
+	for _, t := range r.Trials {
+		sum += t.Elapsed
+	}
+	return sum
+}
+
+// Speedup reports SerialTime over actual wall time — the parallel
+// efficiency headline (zero before the campaign has run).
+func (r *Result) Speedup() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.SerialTime()) / float64(r.Wall)
+}
+
+// Errs returns the trials that failed.
+func (r *Result) Errs() []TrialResult {
+	var out []TrialResult
+	for _, t := range r.Trials {
+		if t.Err != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Run executes the matrix on a worker pool and aggregates the results.
+// workers <= 0 selects the runtime.NumCPU() bound (trials are CPU-bound
+// simulations; more buys nothing); an explicit count is honoured as given
+// — oversubscribing is wasteful but harmless, and exercising it is
+// exactly how the determinism contract gets tested. The pool never
+// exceeds the trial count. Results land in matrix order regardless of
+// completion order. A panicking trial is recorded as that trial's error
+// rather than tearing down the campaign.
+func Run(name string, m Matrix, workers int, fn RunFunc) (*Result, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("campaign %s: nil RunFunc", name)
+	}
+	trials := m.Trials()
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("campaign %s: empty matrix (no seeds?)", name)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+
+	start := time.Now()
+	results := make([]TrialResult, len(trials))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				vals, err := runTrial(fn, trials[i])
+				tr := TrialResult{Trial: trials[i], Metrics: sanitize(vals), Elapsed: time.Since(t0)}
+				if err != nil {
+					tr.Err = err.Error()
+					tr.Metrics = nil
+				}
+				results[i] = tr
+			}
+		}()
+	}
+	for i := range trials {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	res := &Result{
+		Name: name, Matrix: m, Trials: results,
+		Groups:  Aggregate(results),
+		Workers: workers, Wall: time.Since(start),
+	}
+	return res, nil
+}
+
+// runTrial shields the pool from a panicking trial.
+func runTrial(fn RunFunc, t Trial) (vals map[string]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trial %d (seed %d, scenario %q) panicked: %v", t.Index, t.Seed, t.Scenario, r)
+		}
+	}()
+	return fn(t)
+}
+
+// sanitize drops non-finite values: they carry no aggregatable information
+// and would make the JSON form unmarshalable.
+func sanitize(vals map[string]float64) map[string]float64 {
+	for k, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			delete(vals, k)
+		}
+	}
+	return vals
+}

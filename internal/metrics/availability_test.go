@@ -1,0 +1,24 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestAvailability(t *testing.T) {
+	cases := []struct {
+		down, span simclock.Time
+		want       float64
+	}{
+		{0, simclock.Year, 1},
+		{simclock.Year / 2, simclock.Year, 0.5},
+		{2 * simclock.Year, simclock.Year, 0}, // overlapping incidents clamp
+		{simclock.Hour, 0, 1},                 // zero span counts as available
+	}
+	for _, c := range cases {
+		if got := Availability(c.down, c.span); got != c.want {
+			t.Errorf("Availability(%v, %v) = %v, want %v", c.down, c.span, got, c.want)
+		}
+	}
+}

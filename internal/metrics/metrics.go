@@ -201,6 +201,22 @@ func Mean(xs []simclock.Time) simclock.Time {
 	return sum / simclock.Time(len(xs))
 }
 
+// Availability reports the fraction (0..1) of span not lost to downtime —
+// the service-availability headline campaigns aggregate across seeds.
+// Incident downtime can overlap (several services down at once), so the
+// value is clamped at zero rather than going negative; a zero span counts
+// as fully available.
+func Availability(down, span simclock.Time) float64 {
+	if span <= 0 {
+		return 1
+	}
+	a := 1 - float64(down)/float64(span)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
 // Percentile returns the p-quantile (0..1) of xs by nearest-rank on a copy.
 func Percentile(xs []simclock.Time, p float64) simclock.Time {
 	if len(xs) == 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/lsf"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
@@ -93,6 +94,59 @@ func (r Report) Format() string {
 
 func round(t simclock.Time) simclock.Time {
 	return t - t%simclock.Time(1e9) // whole seconds
+}
+
+// FormatCampaign renders a campaign result as aggregate tables with
+// uncertainty: one table per matrix group, each metric as
+// mean ± 95%-CI half-width with the min/max envelope over seeds.
+func FormatCampaign(r *campaign.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== campaign %s: %d trials, %d groups ===\n", r.Name, len(r.Trials), len(r.Groups))
+	for _, g := range r.Groups {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "--- %s", groupLabel(g))
+		fmt.Fprintf(&b, " (%d seeds", g.Seeds)
+		if g.Errors > 0 {
+			fmt.Fprintf(&b, ", %d FAILED", g.Errors)
+		}
+		b.WriteString(") ---\n")
+		fmt.Fprintf(&b, "%-28s %12s %10s %12s %12s\n", "metric", "mean", "±95% CI", "min", "max")
+		for _, name := range g.MetricNames() {
+			s := g.Stats[name]
+			fmt.Fprintf(&b, "%-28s %12.3f %10.3f %12.3f %12.3f\n", name, s.Mean, s.CI95, s.Min, s.Max)
+		}
+	}
+	if errs := r.Errs(); len(errs) > 0 {
+		b.WriteString("\nfailed trials:\n")
+		for _, tr := range errs {
+			fmt.Fprintf(&b, "  #%d seed=%d %s: %s\n", tr.Trial.Index, tr.Trial.Seed, groupLabel(campaign.Group{
+				Scenario: tr.Trial.Scenario, Site: tr.Trial.Site, Mode: tr.Trial.Mode, Days: tr.Trial.Days,
+			}), tr.Err)
+		}
+	}
+	return b.String()
+}
+
+// groupLabel names the non-seed coordinates of a group, skipping blank
+// axes.
+func groupLabel(g campaign.Group) string {
+	var parts []string
+	if g.Scenario != "" {
+		parts = append(parts, "scenario="+g.Scenario)
+	}
+	if g.Site != "" {
+		parts = append(parts, "site="+g.Site)
+	}
+	if g.Mode != "" {
+		parts = append(parts, "mode="+g.Mode)
+	}
+	if g.Days > 0 {
+		parts = append(parts, fmt.Sprintf("days=%d", g.Days))
+	}
+	if len(parts) == 0 {
+		return "all"
+	}
+	return strings.Join(parts, " ")
 }
 
 // DowntimeHours returns one category's downtime in hours.

@@ -1,0 +1,58 @@
+package qoscluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func TestFormatCampaign(t *testing.T) {
+	fn := func(tr campaign.Trial) (map[string]float64, error) {
+		return map[string]float64{"downtime_h/total": float64(tr.Seed) * 2}, nil
+	}
+	m := campaign.Matrix{
+		Seeds:     campaign.Seeds(1, 3),
+		Scenarios: []string{"year"},
+		Sites:     []string{"small"},
+		Modes:     []string{"manual", "agents"},
+		Days:      30,
+	}
+	res, err := campaign.Run("fig2", m, 2, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCampaign(res)
+	for _, want := range []string{
+		"campaign fig2: 6 trials, 2 groups",
+		"scenario=year site=small mode=manual days=30 (3 seeds)",
+		"mode=agents",
+		"±95% CI",
+		"downtime_h/total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatCampaign missing %q:\n%s", want, out)
+		}
+	}
+	// Seeds 1..3 → values 2,4,6: mean 4 with the min/max envelope shown.
+	if !strings.Contains(out, "4.000") || !strings.Contains(out, "2.000") || !strings.Contains(out, "6.000") {
+		t.Errorf("aggregate row wrong:\n%s", out)
+	}
+}
+
+func TestFormatCampaignFailedTrials(t *testing.T) {
+	fn := func(tr campaign.Trial) (map[string]float64, error) {
+		if tr.Seed == 2 {
+			panic("kaboom")
+		}
+		return map[string]float64{"v": 1}, nil
+	}
+	res, err := campaign.Run("errs", campaign.Matrix{Seeds: campaign.Seeds(1, 3)}, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCampaign(res)
+	if !strings.Contains(out, "1 FAILED") || !strings.Contains(out, "kaboom") {
+		t.Errorf("failed trial not surfaced:\n%s", out)
+	}
+}
