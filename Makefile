@@ -4,23 +4,47 @@
 GO ?= go
 PKGS := ./...
 
-.PHONY: all build test test-race bench lint fmt campaign-smoke clean
+# bash with pipefail so `go test | tee` recipes fail when the test does,
+# not when tee does.
+SHELL := /bin/bash -o pipefail
+
+.PHONY: all build test test-race bench bench-agentday lint fmt campaign-smoke benchdiff clean
 
 all: lint build test
 
 build:
 	$(GO) build $(PKGS)
 
+# -shuffle=on randomises test order every run: campaign determinism (and
+# everything else) must not depend on which test ran first.
 test:
-	$(GO) test $(PKGS)
+	$(GO) test -shuffle=on $(PKGS)
 
 test-race:
-	$(GO) test -race -timeout 30m $(PKGS)
+	$(GO) test -race -shuffle=on -timeout 30m $(PKGS)
 
 # One iteration of every benchmark: exercises each figure's hot path and
 # prints its headline metric without burning CI minutes.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' $(PKGS)
+
+# The perf-gate data point: the agent cron hot loop, repeated so the
+# best-of ns/op that scripts/benchdiff compares is stable.
+bench-agentday:
+	$(GO) test -bench '^BenchmarkAgentDay$$' -benchtime 2x -count 3 -run '^$$' . | tee bench-agentday.txt
+
+# Short real campaigns whose JSON summaries feed the perf trajectory; CI
+# uploads campaign-smoke.json and ablate-smoke.json as build artifacts.
+campaign-smoke:
+	$(GO) run ./cmd/qossim campaign -trials 4 -workers 4 -days 14 -seed 7 \
+		-out campaign-smoke.json fig2
+	$(GO) run ./cmd/qossim campaign -trials 2 -workers 4 -days 7 -seed 7 \
+		-cron 5m,60m -out ablate-smoke.json -scenario ablate-cron
+
+# Compare two bench data points (fails on >20% ns/op regression):
+#   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
+benchdiff:
+	$(GO) run ./scripts/benchdiff $(OLD) $(NEW)
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,11 +54,5 @@ lint:
 fmt:
 	gofmt -w .
 
-# A short real campaign whose JSON summary feeds the perf trajectory; CI
-# uploads campaign-smoke.json as a build artifact.
-campaign-smoke:
-	$(GO) run ./cmd/qossim campaign -trials 4 -workers 4 -days 14 -seed 7 \
-		-out campaign-smoke.json fig2
-
 clean:
-	rm -f campaign-smoke.json bench.txt
+	rm -f campaign-smoke.json ablate-smoke.json bench.txt bench-agentday.txt

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	qossim [-seed N] [-days D] [-site small|paper] <scenario>
-//	qossim campaign [-trials N] [-workers W] [-seed N] [-days D]
-//	                [-site small|paper] [-json] [-out FILE] [<name>]
+//	qossim [-seed N] [-days D] [-site small|paper] [-trials N] [-workers W] <scenario>
+//	qossim campaign [-scenario NAME] [-trials N] [-workers W] [-seed N]
+//	                [-days D] [-site small|paper] [-cron LIST] [-ablate LIST]
+//	                [-json] [-out FILE] [<name>]
 //
 // Scenarios:
 //
@@ -14,24 +15,37 @@
 //	fig2     both years, side by side
 //	fig3     agent vs BMC CPU overhead at peak (Figure 3)
 //	fig4     agent vs BMC memory overhead at peak (Figure 4)
-//	latency  detection-latency table (§4: 5 min vs 1 h / 10 h / 25 h)
-//	mttr     manual incident repair times (§4: restarts up to 2 h, 4 h avg)
-//	ablate   cron-period and resubmission-policy ablations
+//	latency  detection-latency sweep (§4: 5 min vs 1 h / 10 h / 25 h)
+//	mttr     manual repair-time sweep (§4: restarts up to 2 h, 4 h avg)
+//	ablate   all four option-axis ablations back to back
+//
+// latency, mttr and the ablations always run as multi-seed campaigns
+// (-trials seeds per cell) and report mean ± 95%-CI aggregates; there is
+// no single-seed path for them.
 //
 // The campaign subcommand replays a scenario matrix across many seeds in
 // parallel (one goroutine per trial, pool bounded by NumCPU) and reports
 // mean ± 95%-CI aggregates instead of a single stochastic trajectory.
-// Campaign names: before, after, fig2 (default), fig3, fig4, overhead.
+// Campaign names: before, after, fig2 (default), fig3, fig4, overhead,
+// latency, mttr, ablate-cron, ablate-rescue, ablate-net, ablate-resident.
+// -cron overrides the ablate-cron period axis (e.g. -cron 1m,5m,15m,60m);
+// -ablate cron,rescue,net,resident (or "all") runs several ablation
+// campaigns back to back, emitting a JSON array under -json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	qoscluster "repro"
 	"repro/experiments"
+	"repro/internal/campaign"
+	"repro/internal/simclock"
 )
 
 func main() {
@@ -40,8 +54,10 @@ func main() {
 		return
 	}
 	seed := flag.Uint64("seed", 7, "simulation seed")
-	days := flag.Int("days", 365, "simulated days for year scenarios")
+	days := flag.Int("days", 0, "simulated days (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
 	site := flag.String("site", "small", "site size: small or paper")
+	trials := flag.Int("trials", 8, "seeds per cell for the campaign-backed scenarios (latency, mttr, ablate)")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = NumCPU)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qossim [flags] before|after|fig2|fig3|fig4|latency|mttr|ablate\n")
 		fmt.Fprintf(os.Stderr, "       qossim campaign -help\n")
@@ -52,50 +68,85 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper"}
+	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper",
+		Trials: *trials, Workers: *workers}
 	out, err := experiments.Run(flag.Arg(0), cfg)
+	// Print whatever rendered before erroring: a campaign with failed
+	// trials returns its tables (failed-trials detail included) alongside
+	// the error.
+	fmt.Print(out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qossim:", err)
 		os.Exit(1)
 	}
-	fmt.Print(out)
 }
 
 // runCampaign is the multi-seed parallel mode: it fans trials over a
 // worker pool and prints aggregate tables (or the canonical JSON record).
 func runCampaign(args []string) {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "campaign scenario name (same as the positional argument)")
 	seed := fs.Uint64("seed", 7, "base seed; trial i of each cell uses seed+i")
 	trials := fs.Int("trials", 16, "seeds per matrix cell")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
-	days := fs.Int("days", 365, "simulated days per trial")
+	days := fs.Int("days", 0, "simulated days per trial (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
 	site := fs.String("site", "small", "site size: small or paper")
+	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
+	ablate := fs.String("ablate", "", "run ablation campaigns back to back: comma list of cron,rescue,net,resident, or all")
 	jsonOut := fs.Bool("json", false, "print the machine-readable campaign JSON instead of tables")
 	outFile := fs.String("out", "", "also write the campaign JSON to this file")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qossim campaign [flags] [before|after|fig2|fig3|fig4|overhead]\n")
+		fmt.Fprintf(os.Stderr, "usage: qossim campaign [flags] [%s]\n", strings.Join(experiments.CampaignNames, "|"))
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
-	name := "fig2"
-	switch fs.NArg() {
-	case 0:
-	case 1:
-		name = fs.Arg(0)
-	default:
+
+	names, err := campaignNames(*scenario, *ablate, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim campaign:", err)
 		fs.Usage()
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper"}
-	res, err := experiments.Campaign(name, cfg, *trials, *workers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qossim campaign:", err)
-		os.Exit(1)
+	if *cron != "" {
+		periods, err := parsePeriods(*cron)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim campaign: -cron:", err)
+			fs.Usage()
+			os.Exit(2)
+		}
+		cfg.CronPeriods = periods
+		if !slices.Contains(names, "ablate-cron") {
+			fmt.Fprintf(os.Stderr, "qossim campaign: -cron only applies to the ablate-cron scenario (running %v)\n", names)
+			fs.Usage()
+			os.Exit(2)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "campaign %s: %d trials on %d workers in %s (est. serial cost %s, est. speedup %.1fx)\n",
-		res.Name, len(res.Trials), res.Workers, res.Wall.Round(10*time.Millisecond),
-		res.SerialTime().Round(10*time.Millisecond), res.Speedup())
-	js, err := res.JSON()
+	// Validate every name before running anything: a bad entry late in an
+	// -ablate list must not discard minutes of completed sweeps.
+	for _, name := range names {
+		if _, err := experiments.CampaignMatrix(name, cfg, *trials); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim campaign:", err)
+			os.Exit(1)
+		}
+	}
+
+	var results []*campaign.Result
+	failed := false
+	for _, name := range names {
+		res, err := experiments.Campaign(name, cfg, *trials, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim campaign:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "campaign %s: %d trials on %d workers in %s (est. serial cost %s, est. speedup %.1fx)\n",
+			res.Name, len(res.Trials), res.Workers, res.Wall.Round(10*time.Millisecond),
+			res.SerialTime().Round(10*time.Millisecond), res.Speedup())
+		failed = failed || len(res.Errs()) > 0
+		results = append(results, res)
+	}
+
+	js, err := marshalResults(results)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qossim campaign: marshal:", err)
 		os.Exit(1)
@@ -109,9 +160,92 @@ func runCampaign(args []string) {
 	if *jsonOut {
 		os.Stdout.Write(append(js, '\n'))
 	} else {
-		fmt.Print(qoscluster.FormatCampaign(res))
+		for i, res := range results {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(qoscluster.FormatCampaign(res))
+		}
 	}
-	if len(res.Errs()) > 0 {
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// campaignNames resolves the -scenario flag, the -ablate list and the
+// positional argument into the campaigns to run, rejecting conflicting
+// combinations.
+func campaignNames(scenario, ablate string, args []string) ([]string, error) {
+	positional := ""
+	switch len(args) {
+	case 0:
+	case 1:
+		positional = args[0]
+	default:
+		return nil, fmt.Errorf("at most one positional scenario, got %v", args)
+	}
+	if scenario != "" && positional != "" && scenario != positional {
+		return nil, fmt.Errorf("both -scenario %s and positional %s given", scenario, positional)
+	}
+	name := scenario
+	if name == "" {
+		name = positional
+	}
+	if ablate != "" {
+		if name != "" {
+			return nil, fmt.Errorf("-ablate cannot be combined with scenario %q", name)
+		}
+		if ablate == "all" {
+			return experiments.AblateScenarios, nil
+		}
+		var names []string
+		for _, part := range strings.Split(ablate, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			names = append(names, "ablate-"+strings.TrimPrefix(part, "ablate-"))
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-ablate %q names no ablations", ablate)
+		}
+		return names, nil
+	}
+	if name == "" {
+		name = "fig2"
+	}
+	return []string{name}, nil
+}
+
+// parsePeriods parses a comma-separated duration list into simulated
+// times (e.g. "1m,5m,15m,1h").
+func parsePeriods(s string) ([]simclock.Time, error) {
+	var out []simclock.Time
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("cron period %q must be positive", part)
+		}
+		out = append(out, simclock.Time(d))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty period list %q", s)
+	}
+	return out, nil
+}
+
+// marshalResults emits one campaign as its canonical record and several
+// as a JSON array of records, both deterministic for identical trials.
+func marshalResults(results []*campaign.Result) ([]byte, error) {
+	if len(results) == 1 {
+		return results[0].JSON()
+	}
+	return json.MarshalIndent(results, "", "  ")
 }

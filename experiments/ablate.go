@@ -1,86 +1,105 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
 	qoscluster "repro"
 	"repro/internal/simclock"
 )
 
-// Ablate exercises the design decisions DESIGN.md calls out:
+// The ablate-* scenarios exercise the design decisions DESIGN.md calls
+// out, each as a multi-seed campaign sweeping one option axis:
 //
-//  1. Cron period X — detection latency and residual downtime scale with X.
-//  2. DGSPL batch rescue — failed overnight jobs stay dead without it.
-//  3. Private agent network — without it, all agent traffic rides the
-//     public LAN.
-//  4. Non-resident agents — the duty-cycled footprint vs what the same
-//     suite would cost if it stayed resident like the commercial monitor.
-func Ablate(cfg Config) string {
-	span := cfg.span()
-	if cfg.Days <= 0 || cfg.Days > 120 {
-		span = 90 * simclock.Day // ablations do not need a full year
-	}
-	var b strings.Builder
+//	ablate-cron      cron period X ∈ {1m, 5m, 15m, 60m} — detection
+//	                 latency and residual downtime scale with X.
+//	ablate-rescue    DGSPL batch rescue on/off — failed overnight jobs
+//	                 stay dead without it.
+//	ablate-net       private agent network on/off — without it, all
+//	                 agent traffic rides the public LAN.
+//	ablate-resident  non-resident agents — the duty-cycled footprint vs
+//	                 what the same suite would cost if it stayed
+//	                 resident like the commercial monitor.
+//
+// All spans obey Config.AblationDays; there is no single-seed path.
 
-	// --- 1: cron period ---
-	fmt.Fprintf(&b, "Ablation 1 — agent cron period X (%.0f days each)\n", span.Hours()/24)
-	fmt.Fprintf(&b, "%-10s %14s %14s %14s\n", "X", "downtime h", "mean detect", "p95 detect")
-	for _, period := range []simclock.Time{simclock.Minute, 5 * simclock.Minute, 15 * simclock.Minute, 60 * simclock.Minute} {
-		site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{
-			Mode: qoscluster.ModeAgents, CronPeriod: period,
-		})
-		site.Run(span)
-		r := site.Report()
-		fmt.Fprintf(&b, "%-10v %14.1f %14s %14s\n", period, r.Total.Hours(), short(r.MeanDetect), short(r.P95Detect))
-	}
+// AblateScenarios lists the ablation campaign names in DESIGN.md order;
+// the "ablate" scenario and the CLI's -ablate all expand to it.
+var AblateScenarios = []string{"ablate-cron", "ablate-rescue", "ablate-net", "ablate-resident"}
 
-	// --- 2: batch rescue ---
-	b.WriteString("\nAblation 2 — DGSPL-driven resubmission of failed batch jobs\n")
-	fmt.Fprintf(&b, "%-12s %10s %10s %12s\n", "policy", "done", "failed", "resubmitted")
-	for _, off := range []bool{false, true} {
-		site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{
-			Mode: qoscluster.ModeAgents, NoBatchRescue: off,
-		})
-		site.Run(span)
-		r := site.Report()
-		name := "dgspl"
-		if off {
-			name = "none"
-		}
-		fmt.Fprintf(&b, "%-12s %10d %10d %12d\n", name, r.JobsDone, r.JobsFailed, r.Resubmitted)
-	}
+// defaultCronPeriods is the ablate-cron sweep axis when Config does not
+// override it: the paper's 5 minutes bracketed by a faster and two
+// slower periods.
+var defaultCronPeriods = []simclock.Time{
+	simclock.Minute, 5 * simclock.Minute, 15 * simclock.Minute, 60 * simclock.Minute,
+}
 
-	// --- 3: private agent network ---
-	b.WriteString("\nAblation 3 — private intelliagent network\n")
-	fmt.Fprintf(&b, "%-12s %16s %16s\n", "config", "public-LAN MB", "private-LAN MB")
-	for _, off := range []bool{false, true} {
-		site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{
-			Mode: qoscluster.ModeAgents, DisablePrivateNet: off,
-		})
-		site.Run(span / 3) // traffic accumulates fast; a month suffices
-		pub := float64(site.Public.Stats().Bytes) / (1 << 20)
-		var priv float64
-		if site.Private != nil {
-			priv = float64(site.Private.Stats().Bytes) / (1 << 20)
-		}
-		name := "private"
-		if off {
-			name = "public-only"
-		}
-		fmt.Fprintf(&b, "%-12s %16.2f %16.2f\n", name, pub, priv)
+func (c Config) cronPeriods() []simclock.Time {
+	if len(c.CronPeriods) > 0 {
+		return c.CronPeriods
 	}
+	return defaultCronPeriods
+}
 
-	// --- 4: resident vs cron-awakened agents ---
-	b.WriteString("\nAblation 4 — non-resident (cron-awakened) agents\n")
-	bmcCPU, agCPU, bmcMem, agMem := sampleOverhead(cfg.Seed)
+// ablateCronMetrics reports the quantities that scale with the cron
+// period: residual downtime and detection latency.
+func ablateCronMetrics(r qoscluster.Report) map[string]float64 {
+	return map[string]float64{
+		"downtime_h/total": r.Total.Hours(),
+		"detect_mean_s":    r.MeanDetect.Duration().Seconds(),
+		"detect_p95_s":     r.P95Detect.Duration().Seconds(),
+	}
+}
+
+// ablateRescueMetrics reports the batch outcomes the DGSPL resubmission
+// path changes.
+func ablateRescueMetrics(r qoscluster.Report) map[string]float64 {
+	return map[string]float64{
+		"jobs_done":        float64(r.JobsDone),
+		"jobs_failed":      float64(r.JobsFailed),
+		"jobs_resubmitted": float64(r.Resubmitted),
+		"downtime_h/total": r.Total.Hours(),
+	}
+}
+
+// ablateNetMetrics reports where the agent traffic landed.
+func ablateNetMetrics(site *qoscluster.Site) map[string]float64 {
+	vals := map[string]float64{
+		"public_lan_mb":  float64(site.Public.Stats().Bytes) / (1 << 20),
+		"private_lan_mb": 0,
+	}
+	if site.Private != nil {
+		vals["private_lan_mb"] = float64(site.Private.Stats().Bytes) / (1 << 20)
+	}
+	return vals
+}
+
+// netDays shortens the ablate-net span: traffic accumulates fast, so a
+// third of the ablation span (a month at the default 90 days) suffices.
+// The shortened span is what the matrix records, so the campaign JSON
+// and group labels state the days actually simulated.
+func netDays(ablationDays int) int {
+	if d := ablationDays / 3; d >= 1 {
+		return d
+	}
+	return 1
+}
+
+// residentMetrics contrasts the duty-cycled agent footprint with the
+// resident BMC-style monitor and with what the same agent suite would
+// hold if it stayed resident. The bmc/agent means come from
+// overheadMetrics so ablate-resident and fig3/fig4/overhead can never
+// disagree on the shared keys.
+func residentMetrics(seed uint64) map[string]float64 {
+	vals := overheadMetrics("overhead", seed)
 	// A resident suite would hold its run-time demand continuously.
 	const agentsPerHost = 5
 	resCPU := agentsPerHost * 0.054 / 8 * 100 // % of an 8-CPU host
 	resMem := agentsPerHost * 1.6
-	fmt.Fprintf(&b, "%-22s %12s %12s\n", "monitor", "cpu %", "mem MB")
-	fmt.Fprintf(&b, "%-22s %12.3f %12.1f\n", "bmc resident", bmcCPU.Mean(), bmcMem.Mean())
-	fmt.Fprintf(&b, "%-22s %12.3f %12.1f\n", "agents cron-awakened", agCPU.Mean(), agMem.Mean())
-	fmt.Fprintf(&b, "%-22s %12.3f %12.1f\n", "agents if resident", resCPU, resMem)
-	return b.String()
+	vals["resident_cpu_pct"] = resCPU
+	vals["resident_mem_mb"] = resMem
+	if m := vals["agent_cpu_pct"]; m > 0 {
+		vals["resident_vs_cron_cpu_x"] = resCPU / m
+	}
+	if m := vals["agent_mem_mb"]; m > 0 {
+		vals["resident_vs_cron_mem_x"] = resMem / m
+	}
+	return vals
 }

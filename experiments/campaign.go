@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	qoscluster "repro"
 	"repro/internal/campaign"
@@ -17,7 +18,9 @@ import (
 //
 // Names: "before" and "after" sweep one operations mode, "fig2" (the
 // default) sweeps both on the same seeds, "fig3"/"fig4"/"overhead" sweep
-// the monitor-overhead rig.
+// the monitor-overhead rig, "latency" sweeps the §4 detection windows in
+// both modes, "mttr" sweeps the manual repair-time distribution, and the
+// "ablate-*" names sweep one option axis each (see AblateScenarios).
 func Campaign(name string, cfg Config, trials, workers int) (*campaign.Result, error) {
 	if trials <= 0 {
 		trials = 8
@@ -29,8 +32,16 @@ func Campaign(name string, cfg Config, trials, workers int) (*campaign.Result, e
 	return campaign.Run(name, m, workers, RunTrial)
 }
 
+// CampaignNames lists every scenario CampaignMatrix accepts.
+var CampaignNames = []string{
+	"before", "after", "fig2", "fig3", "fig4", "overhead",
+	"latency", "mttr", "ablate-cron", "ablate-rescue", "ablate-net", "ablate-resident",
+}
+
 // CampaignMatrix translates a scenario name into the campaign axes it
-// sweeps.
+// sweeps. Ablation matrices obey cfg.AblationDays; the overhead-rig
+// scenarios (fig3/fig4/overhead/ablate-resident) ignore the span and
+// carry no Days coordinate.
 func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error) {
 	m := campaign.Matrix{
 		Seeds: campaign.Seeds(cfg.Seed, trials),
@@ -47,13 +58,41 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 	case "after":
 		m.Scenarios = []string{"year"}
 		m.Modes = []string{"agents"}
+	case "latency":
+		// Both modes on the same seeds: the manual columns are the paper's
+		// ~1h/~10h/~25h windows, the agent columns its 5-minute claim.
+		m.Scenarios = []string{"latency"}
+		m.Modes = []string{"manual", "agents"}
+	case "mttr":
+		// Manual only: the paper quotes repair times for the before year.
+		m.Scenarios = []string{"mttr"}
+		m.Modes = []string{"manual"}
+	case "ablate-cron":
+		m.Scenarios = []string{"ablate-cron"}
+		m.Modes = []string{"agents"}
+		m.CronPeriods = cfg.cronPeriods()
+		m.Days = cfg.AblationDays()
+	case "ablate-rescue":
+		m.Scenarios = []string{"ablate-rescue"}
+		m.Modes = []string{"agents"}
+		m.NoBatchRescue = []bool{false, true}
+		m.Days = cfg.AblationDays()
+	case "ablate-net":
+		m.Scenarios = []string{"ablate-net"}
+		m.Modes = []string{"agents"}
+		m.DisablePrivateNet = []bool{false, true}
+		m.Days = netDays(cfg.AblationDays())
+	case "ablate-resident":
+		m.Scenarios = []string{"ablate-resident"}
+		m.Days = 0 // the 4-hour overhead rig ignores the span
 	case "fig3", "fig4", "overhead":
 		// "overhead" is one scenario reporting both the CPU and memory
 		// series: the rig produces both in a single run, so splitting it
 		// into fig3+fig4 cells would simulate everything twice.
 		m.Scenarios = []string{name}
+		m.Days = 0
 	default:
-		return campaign.Matrix{}, fmt.Errorf("unknown campaign %q (want before|after|fig2|fig3|fig4|overhead)", name)
+		return campaign.Matrix{}, fmt.Errorf("unknown campaign %q (want one of %v)", name, CampaignNames)
 	}
 	return m, nil
 }
@@ -72,25 +111,101 @@ func (c Config) days() int {
 	return c.Days
 }
 
+// overrideMu guards the options-override registry. Registration is
+// cheap and rare (init-time, typically); lookups happen on every trial.
+var (
+	overrideMu sync.RWMutex
+	overrides  = map[string]func(*qoscluster.Options){}
+)
+
+// RegisterOverride installs a named qoscluster.Options mutator that
+// matrix cells reference through the Overrides axis. The mutator runs
+// after the trial's option axes are applied, so it can tune anything
+// Options exposes (fault campaign, workload, operator timing, ...) that
+// the first-class axes do not. Registering a name twice replaces the
+// earlier mutator.
+func RegisterOverride(name string, fn func(*qoscluster.Options)) {
+	overrideMu.Lock()
+	defer overrideMu.Unlock()
+	if fn == nil {
+		delete(overrides, name)
+		return
+	}
+	overrides[name] = fn
+}
+
+func lookupOverride(name string) func(*qoscluster.Options) {
+	overrideMu.RLock()
+	defer overrideMu.RUnlock()
+	return overrides[name]
+}
+
+// trialOptions builds the qoscluster.Options a trial's coordinates call
+// for: mode and agent set from their string axes, the option axes
+// verbatim, then any registered override applied on top.
+func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
+	o := qoscluster.Options{
+		CronPeriod:        t.CronPeriod,
+		NoBatchRescue:     t.NoBatchRescue,
+		DisablePrivateNet: t.DisablePrivateNet,
+		BaselineMonitors:  t.BaselineMonitors,
+	}
+	switch t.Mode {
+	case "manual", "":
+		o.Mode = qoscluster.ModeManual
+	case "agents":
+		o.Mode = qoscluster.ModeAgents
+	default:
+		return o, fmt.Errorf("unknown mode %q", t.Mode)
+	}
+	switch t.AgentSet {
+	case "", "lean":
+		o.AgentSet = qoscluster.AgentsLean
+	case "full":
+		o.AgentSet = qoscluster.AgentsFull
+	default:
+		return o, fmt.Errorf("unknown agent set %q (want lean or full)", t.AgentSet)
+	}
+	if t.Overrides != "" {
+		fn := lookupOverride(t.Overrides)
+		if fn == nil {
+			return o, fmt.Errorf("unknown options override %q (RegisterOverride it first)", t.Overrides)
+		}
+		fn(&o)
+	}
+	return o, nil
+}
+
 // RunTrial executes one campaign trial. It is the campaign.RunFunc for
 // this package's scenarios and is safe for concurrent use: all state lives
 // in the site built here.
 func RunTrial(t campaign.Trial) (map[string]float64, error) {
 	cfg := Config{Seed: t.Seed, Days: t.Days, PaperSite: t.Site == "paper"}
 	switch t.Scenario {
-	case "year":
-		var mode qoscluster.Mode
-		switch t.Mode {
-		case "manual", "":
-			mode = qoscluster.ModeManual
-		case "agents":
-			mode = qoscluster.ModeAgents
-		default:
-			return nil, fmt.Errorf("unknown mode %q", t.Mode)
+	case "year", "latency", "mttr", "ablate-cron", "ablate-rescue", "ablate-net":
+		opts, err := trialOptions(t)
+		if err != nil {
+			return nil, err
 		}
-		site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: mode})
-		site.Run(cfg.span())
-		return yearMetrics(site.Report(), cfg.span()), nil
+		span := cfg.span()
+		site := qoscluster.BuildSite(cfg.site(), opts)
+		site.Run(span)
+		switch t.Scenario {
+		case "year":
+			return yearMetrics(site.Report(), span), nil
+		case "latency":
+			return latencyMetrics(site), nil
+		case "mttr":
+			return mttrMetrics(site), nil
+		case "ablate-cron":
+			return ablateCronMetrics(site.Report()), nil
+		case "ablate-rescue":
+			return ablateRescueMetrics(site.Report()), nil
+		default: // ablate-net
+			return ablateNetMetrics(site), nil
+		}
+	case "ablate-resident":
+		return residentMetrics(t.Seed), nil
 	case "fig3", "fig4", "overhead":
 		return overheadMetrics(t.Scenario, t.Seed), nil
 	default:

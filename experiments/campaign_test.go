@@ -3,6 +3,10 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	qoscluster "repro"
+	"repro/internal/campaign"
+	"repro/internal/simclock"
 )
 
 func TestCampaignMatrixNames(t *testing.T) {
@@ -58,23 +62,183 @@ func TestCampaignBeforeAfterShort(t *testing.T) {
 
 // TestCampaignDeterministicAcrossWorkers is the end-to-end determinism
 // gate on real simulations: the same seed set must serialise
-// byte-identically at one worker and at eight.
+// byte-identically at one worker and at eight. The latency and
+// ablate-cron campaigns are in the gate because their trials exercise
+// the option axes (per-cell cron periods) and the per-window metric
+// extraction.
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
-	run := func(workers int) []byte {
-		res, err := Campaign("before", Config{Seed: 11, Days: 2}, 3, workers)
-		if err != nil {
-			t.Fatal(err)
-		}
-		js, err := res.JSON()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return js
+	cases := []struct {
+		name   string
+		cfg    Config
+		trials int
+	}{
+		{"before", Config{Seed: 11, Days: 2}, 3},
+		{"latency", Config{Seed: 11, Days: 2}, 2},
+		{"ablate-cron", Config{Seed: 11, Days: 2,
+			CronPeriods: []simclock.Time{5 * simclock.Minute, 15 * simclock.Minute}}, 2},
 	}
-	serial := run(1)
-	parallel := run(8)
-	if !bytes.Equal(serial, parallel) {
-		t.Errorf("campaign JSON differs between -workers 1 and -workers 8:\n%s\n----\n%s", serial, parallel)
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			run := func(workers int) []byte {
+				res, err := Campaign(c.name, c.cfg, c.trials, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := res.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return js
+			}
+			serial := run(1)
+			parallel := run(8)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("campaign JSON differs between -workers 1 and -workers 8:\n%s\n----\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestCampaignMatrixOptionAxes pins the axes each new scenario sweeps.
+func TestCampaignMatrixOptionAxes(t *testing.T) {
+	cfg := Config{Seed: 7}
+
+	m, err := CampaignMatrix("ablate-cron", cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.CronPeriods) != 4 || m.CronPeriods[0] != simclock.Minute || m.CronPeriods[3] != 60*simclock.Minute {
+		t.Errorf("ablate-cron default axis wrong: %v", m.CronPeriods)
+	}
+	if m.Days != DefaultAblationDays || len(m.Trials()) != 12 { // 4 periods × 3 seeds
+		t.Errorf("ablate-cron matrix wrong: days=%d trials=%d", m.Days, len(m.Trials()))
+	}
+	cfg.CronPeriods = []simclock.Time{30 * simclock.Minute}
+	if m, _ = CampaignMatrix("ablate-cron", cfg, 3); len(m.CronPeriods) != 1 || m.CronPeriods[0] != 30*simclock.Minute {
+		t.Errorf("CronPeriods override ignored: %v", m.CronPeriods)
+	}
+
+	if m, _ = CampaignMatrix("ablate-rescue", Config{}, 2); len(m.NoBatchRescue) != 2 || m.NoBatchRescue[0] || !m.NoBatchRescue[1] {
+		t.Errorf("ablate-rescue axis wrong: %v", m.NoBatchRescue)
+	}
+	if m, _ = CampaignMatrix("ablate-net", Config{}, 2); len(m.DisablePrivateNet) != 2 {
+		t.Errorf("ablate-net axis wrong: %v", m.DisablePrivateNet)
+	}
+	if m, _ = CampaignMatrix("latency", Config{}, 2); len(m.Modes) != 2 || m.Days != 365 {
+		t.Errorf("latency matrix wrong: %+v", m)
+	}
+	if m, _ = CampaignMatrix("mttr", Config{}, 2); len(m.Modes) != 1 || m.Modes[0] != "manual" {
+		t.Errorf("mttr matrix wrong: %+v", m)
+	}
+	if m, _ = CampaignMatrix("ablate-resident", Config{}, 2); m.Days != 0 {
+		t.Errorf("ablate-resident should carry no Days coordinate: %+v", m)
+	}
+}
+
+// TestTrialOptions pins how a trial's coordinates become
+// qoscluster.Options, including the opaque per-cell override hook.
+func TestTrialOptions(t *testing.T) {
+	o, err := trialOptions(campaign.Trial{
+		Mode: "agents", AgentSet: "full", CronPeriod: 15 * simclock.Minute,
+		NoBatchRescue: true, DisablePrivateNet: true, BaselineMonitors: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Mode != qoscluster.ModeAgents || o.AgentSet != qoscluster.AgentsFull ||
+		o.CronPeriod != 15*simclock.Minute || !o.NoBatchRescue || !o.DisablePrivateNet || !o.BaselineMonitors {
+		t.Errorf("options not mapped from axes: %+v", o)
+	}
+
+	if _, err := trialOptions(campaign.Trial{Mode: "bogus"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if _, err := trialOptions(campaign.Trial{AgentSet: "bogus"}); err == nil {
+		t.Error("unknown agent set should error")
+	}
+	if _, err := trialOptions(campaign.Trial{Overrides: "unregistered"}); err == nil {
+		t.Error("unknown override should error")
+	}
+
+	RegisterOverride("test-cron-30m", func(o *qoscluster.Options) {
+		o.CronPeriod = 30 * simclock.Minute
+	})
+	defer RegisterOverride("test-cron-30m", nil)
+	o, err = trialOptions(campaign.Trial{Mode: "agents", CronPeriod: simclock.Minute, Overrides: "test-cron-30m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CronPeriod != 30*simclock.Minute {
+		t.Errorf("override should run after the axes: CronPeriod = %v", o.CronPeriod)
+	}
+	if _, err := trialOptions(campaign.Trial{Overrides: "test-cron-30m"}); err != nil {
+		t.Errorf("registered override rejected: %v", err)
+	}
+	RegisterOverride("test-cron-30m", nil)
+	if _, err := trialOptions(campaign.Trial{Overrides: "test-cron-30m"}); err == nil {
+		t.Error("deregistered override should error")
+	}
+}
+
+// TestCampaignAblateNetShort runs the private-network ablation for real
+// and checks the axis splits traffic the way the paper says.
+func TestCampaignAblateNetShort(t *testing.T) {
+	res, err := Campaign("ablate-net", Config{Seed: 7, Days: 3}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("want with/without groups, got %d", len(res.Groups))
+	}
+	withNet, without := res.Groups[0], res.Groups[1]
+	if withNet.DisablePrivateNet || !without.DisablePrivateNet {
+		t.Fatalf("group axis order wrong: %+v / %+v", withNet, without)
+	}
+	if withNet.Stats["private_lan_mb"].Mean <= 0 {
+		t.Errorf("private network carried no traffic: %+v", withNet.Stats)
+	}
+	if without.Stats["private_lan_mb"].Mean != 0 {
+		t.Errorf("disabled private network still carried traffic: %+v", without.Stats)
+	}
+	if without.Stats["public_lan_mb"].Mean <= withNet.Stats["public_lan_mb"].Mean {
+		t.Errorf("public LAN should carry more without the private net: with=%.3f without=%.3f",
+			withNet.Stats["public_lan_mb"].Mean, without.Stats["public_lan_mb"].Mean)
+	}
+}
+
+// TestCampaignResident checks the duty-cycle ablation aggregates.
+func TestCampaignResident(t *testing.T) {
+	res, err := Campaign("ablate-resident", Config{Seed: 7}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Groups[0]
+	for _, key := range []string{"bmc_cpu_pct", "agent_cpu_pct", "resident_cpu_pct",
+		"bmc_mem_mb", "agent_mem_mb", "resident_mem_mb"} {
+		if _, ok := g.Stats[key]; !ok {
+			t.Errorf("ablate-resident missing %q", key)
+		}
+	}
+	if g.Stats["resident_cpu_pct"].Mean <= g.Stats["agent_cpu_pct"].Mean {
+		t.Error("a resident suite must cost more CPU than the cron-awakened one")
+	}
+	if g.Stats["resident_mem_mb"].Mean <= g.Stats["agent_mem_mb"].Mean {
+		t.Error("a resident suite must hold more memory than the cron-awakened one")
+	}
+}
+
+// TestRunTrialRejectsBadCoordinates covers the error paths campaigns
+// surface as failed trials.
+func TestRunTrialRejectsBadCoordinates(t *testing.T) {
+	if _, err := RunTrial(campaign.Trial{Scenario: "bogus"}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if _, err := RunTrial(campaign.Trial{Scenario: "year", Mode: "bogus", Days: 1}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if _, err := RunTrial(campaign.Trial{Scenario: "latency", Overrides: "nope", Days: 1}); err == nil {
+		t.Error("unregistered override should error")
 	}
 }
 

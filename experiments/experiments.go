@@ -19,6 +19,15 @@ type Config struct {
 	Seed      uint64
 	Days      int
 	PaperSite bool // full 215-host site instead of the scaled one
+	// Trials is the seeds-per-cell count for the scenarios Run executes
+	// as multi-seed campaigns (latency, mttr, ablate-*); 0 means the
+	// campaign default of 8.
+	Trials int
+	// Workers bounds the campaign worker pool (0 = NumCPU).
+	Workers int
+	// CronPeriods overrides the ablate-cron sweep axis (default
+	// 1m, 5m, 15m, 60m).
+	CronPeriods []simclock.Time
 }
 
 func (c Config) site() qoscluster.SiteSpec {
@@ -35,7 +44,35 @@ func (c Config) span() simclock.Time {
 	return simclock.Time(c.Days) * simclock.Day
 }
 
-// Run executes a named scenario and returns its printed report.
+// Ablation span rule: sweeps default to DefaultAblationDays (long enough
+// for every fault category to appear, far cheaper than a full year) and
+// never exceed MaxAblationDays.
+const (
+	DefaultAblationDays = 90
+	MaxAblationDays     = 120
+)
+
+// AblationDays applies the explicit ablation span rule, shared by the
+// campaign and single-run paths: Days <= 0 selects DefaultAblationDays,
+// an explicit Days up to MaxAblationDays is honoured as given, and a
+// longer request is capped at MaxAblationDays — not silently rewritten
+// to the default.
+func (c Config) AblationDays() int {
+	switch {
+	case c.Days <= 0:
+		return DefaultAblationDays
+	case c.Days > MaxAblationDays:
+		return MaxAblationDays
+	default:
+		return c.Days
+	}
+}
+
+// Run executes a named scenario and returns its printed report. The
+// stochastic observation scenarios — latency, mttr and the ablate-*
+// sweeps — run as multi-seed campaigns (cfg.Trials seeds per cell) and
+// report mean ± 95%-CI aggregates; there is no single-seed path for
+// them. "ablate" runs all four ablation sweeps back to back.
 func Run(name string, cfg Config) (string, error) {
 	switch name {
 	case "before":
@@ -48,15 +85,41 @@ func Run(name string, cfg Config) (string, error) {
 		return Fig3(cfg), nil
 	case "fig4":
 		return Fig4(cfg), nil
-	case "latency":
-		return Latency(cfg), nil
-	case "mttr":
-		return MTTR(cfg), nil
+	case "latency", "mttr", "ablate-cron", "ablate-rescue", "ablate-net", "ablate-resident":
+		return campaignText(name, cfg)
 	case "ablate":
-		return Ablate(cfg), nil
+		var b strings.Builder
+		for i, n := range AblateScenarios {
+			out, err := campaignText(n, cfg)
+			if i > 0 && out != "" {
+				b.WriteByte('\n')
+			}
+			b.WriteString(out)
+			if err != nil {
+				// Completed sweeps (and the failed-trials detail campaignText
+				// renders) stay in the output alongside the error.
+				return b.String(), err
+			}
+		}
+		return b.String(), nil
 	default:
 		return "", fmt.Errorf("unknown scenario %q", name)
 	}
+}
+
+// campaignText runs one scenario as a campaign and renders its aggregate
+// tables, with the paper's reference quotes appended where the scenario
+// has them.
+func campaignText(name string, cfg Config) (string, error) {
+	res, err := Campaign(name, cfg, cfg.Trials, cfg.Workers)
+	if err != nil {
+		return "", err
+	}
+	out := qoscluster.FormatCampaign(res) + paperNote(name)
+	if errs := res.Errs(); len(errs) > 0 {
+		return out, fmt.Errorf("campaign %s: %d of %d trials failed", name, len(errs), len(res.Trials))
+	}
+	return out, nil
 }
 
 // PaperFig2Before is the paper's before-year downtime breakdown in hours.

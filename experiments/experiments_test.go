@@ -113,24 +113,95 @@ func TestFig2ShortRun(t *testing.T) {
 	}
 }
 
+// TestLatencyShortRun exercises the campaign-backed latency scenario:
+// both modes on the same seeds, per-window detection aggregates, and the
+// paper's reference quote under the tables.
 func TestLatencyShortRun(t *testing.T) {
-	out, err := Run("latency", Config{Seed: 7, Days: 15})
+	out, err := Run("latency", Config{Seed: 7, Days: 10, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"weekday daytime", "overnight", "intelliagent p95"} {
+	for _, want := range []string{
+		"campaign latency", "mode=manual", "mode=agents",
+		"detect_mean_s/day", "detect_p95_s/overnight", "detect_n/weekend",
+		"±95% CI", "paper: manual detection ~1h",
+	} {
 		if !strings.Contains(out, want) {
-			t.Errorf("latency output missing %q", want)
+			t.Errorf("latency output missing %q:\n%s", want, out)
 		}
 	}
 }
 
+// TestMTTRShortRun exercises the campaign-backed mttr scenario: the
+// manual repair-time distribution with per-category means.
 func TestMTTRShortRun(t *testing.T) {
-	out, err := Run("mttr", Config{Seed: 7, Days: 60})
+	out, err := Run("mttr", Config{Seed: 7, Days: 30, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "mean") || !strings.Contains(out, "p95") {
-		t.Errorf("mttr output malformed:\n%s", out)
+	for _, want := range []string{
+		"campaign mttr", "mode=manual", "mttr_mean_h", "mttr_p95_h",
+		"mttr_median_h", "incidents_resolved", "paper: a diagnosed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mttr output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "mode=agents") {
+		t.Error("mttr should sweep manual mode only")
+	}
+}
+
+// TestAblateRescueRun exercises one campaign-backed ablation end to end
+// through Run: the with/without axis must land in two groups.
+func TestAblateRescueRun(t *testing.T) {
+	out, err := Run("ablate-rescue", Config{Seed: 7, Days: 2, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"campaign ablate-rescue", "no-batch-rescue", "jobs_done", "jobs_resubmitted",
+		"paper: without DGSPL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablate-rescue output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAblationDaysRule pins the explicit ablation span rule shared by
+// the campaign and single-run paths: default 90 days, explicit spans up
+// to 120 honoured, longer requests capped at 120 (not rewritten to 90).
+func TestAblationDaysRule(t *testing.T) {
+	cases := []struct{ days, want int }{
+		{-1, DefaultAblationDays},
+		{0, DefaultAblationDays},
+		{1, 1},
+		{90, 90},
+		{120, MaxAblationDays},
+		{121, MaxAblationDays},
+		{365, MaxAblationDays},
+	}
+	for _, c := range cases {
+		if got := (Config{Days: c.days}).AblationDays(); got != c.want {
+			t.Errorf("AblationDays(%d) = %d, want %d", c.days, got, c.want)
+		}
+	}
+	for _, name := range []string{"ablate-cron", "ablate-rescue"} {
+		m, err := CampaignMatrix(name, Config{Days: 365}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Days != MaxAblationDays {
+			t.Errorf("%s matrix days = %d, want capped %d", name, m.Days, MaxAblationDays)
+		}
+	}
+	// ablate-net simulates (and records) a third of the ablation span.
+	m, err := CampaignMatrix("ablate-net", Config{Days: 365}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Days != MaxAblationDays/3 {
+		t.Errorf("ablate-net matrix days = %d, want %d", m.Days, MaxAblationDays/3)
 	}
 }

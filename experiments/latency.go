@@ -1,76 +1,97 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
 	qoscluster "repro"
 	"repro/internal/metrics"
-	"repro/internal/simclock"
 )
 
-// Latency reproduces the detection-latency observations of §4: under
-// manual operations faults went unnoticed for about 1 hour during the day,
-// about 10 hours when they hit overnight jobs and about 25 hours at
-// weekends; intelliagents detect within the 5-minute cron period.
-func Latency(cfg Config) string {
-	span := cfg.span()
-	manual := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeManual})
-	manual.Run(span)
-	rm := manual.Report()
+// The latency and mttr scenarios reproduce the §4 observations as
+// multi-seed campaign cells: under manual operations faults went
+// unnoticed for about 1 hour during the day, about 10 hours when they
+// hit overnight jobs and about 25 hours at weekends, while
+// intelliagents detect within the 5-minute cron period; a diagnosed
+// manual restart could take up to 2 hours and the full troubleshooting
+// procedure averaged about 4 hours. Both run through RunTrial — there
+// is no single-seed path.
 
-	agents := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeAgents})
-	agents.Run(span)
-	ra := agents.Report()
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "Detection latency (%.0f days, seed %d)\n", span.Hours()/24, cfg.Seed)
-	fmt.Fprintf(&b, "%-22s %14s %14s %14s\n", "fault window", "manual", "paper-manual", "intelliagent")
-	row := func(label string, m simclock.Time, paper string, a simclock.Time) {
-		fmt.Fprintf(&b, "%-22s %14s %14s %14s\n", label, short(m), paper, short(a))
-	}
-	row("weekday daytime", rm.DetectDay, "~1h", ra.DetectDay)
-	row("overnight", rm.DetectNight, "~10h", ra.DetectNight)
-	row("weekend", rm.DetectWkend, "~25h", ra.DetectWkend)
-	fmt.Fprintf(&b, "%-22s %14s %14s %14s\n", "overall mean / p95",
-		short(rm.MeanDetect), "-", short(ra.MeanDetect))
-	fmt.Fprintf(&b, "intelliagent p95 = %s (paper: within the 5-minute run frequency; whole-host\n", short(ra.P95Detect))
-	b.WriteString("faults surface at the admin servers' X+5-minute flag sweep instead)\n")
-	return b.String()
+// detectionWindows are the fault windows §4 quotes, keyed the way the
+// latency metrics are named; the predicates live in internal/metrics so
+// the fig2 report classifies incidents identically.
+var detectionWindows = []struct {
+	name   string
+	filter func(*metrics.Incident) bool
+}{
+	{"all", nil},
+	{"day", metrics.WindowDay},
+	{"overnight", metrics.WindowOvernight},
+	{"weekend", metrics.WindowWeekend},
 }
 
-// MTTR reproduces §4's manual repair-time quotes: a diagnosed service or
-// server restart could take up to 2 hours, and the full troubleshooting
-// procedure averaged about 4 hours when experts had to come in.
-func MTTR(cfg Config) string {
-	span := cfg.span()
-	site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeManual})
-	site.Run(span)
+// latencyMetrics flattens one site's detection latencies into campaign
+// metrics: sample count, mean and p95 seconds per fault window. A window
+// no incident hit contributes only its zero count — recording 0 seconds
+// would drag the group's conditional latency toward zero; Aggregate's
+// per-key N handles trials that miss a metric.
+func latencyMetrics(site *qoscluster.Site) map[string]float64 {
+	vals := map[string]float64{}
+	for _, w := range detectionWindows {
+		lats := site.Ledger.DetectionLatencies(w.filter)
+		vals["detect_n/"+w.name] = float64(len(lats))
+		if len(lats) == 0 {
+			continue
+		}
+		vals["detect_mean_s/"+w.name] = metrics.Mean(lats).Duration().Seconds()
+		vals["detect_p95_s/"+w.name] = metrics.Percentile(lats, 0.95).Duration().Seconds()
+	}
+	return vals
+}
+
+// mttrMetrics flattens one site's repair-time distribution into campaign
+// metrics: the headline quantiles plus per-category means, so the
+// escalation mix stays visible in the aggregates.
+func mttrMetrics(site *qoscluster.Site) map[string]float64 {
 	mttrs := site.Ledger.MTTRs(nil)
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "Manual repair times over %.0f days (%d resolved incidents)\n", span.Hours()/24, len(mttrs))
-	fmt.Fprintf(&b, "mean   = %s (paper: restarts up to 2h, escalated path ~4h)\n", short(metrics.Mean(mttrs)))
-	fmt.Fprintf(&b, "median = %s\n", short(metrics.Percentile(mttrs, 0.5)))
-	fmt.Fprintf(&b, "p95    = %s\n", short(metrics.Percentile(mttrs, 0.95)))
-	fmt.Fprintf(&b, "max    = %s\n", short(metrics.Percentile(mttrs, 1)))
-
-	// Per-category means, the escalation mix made visible.
-	fmt.Fprintf(&b, "%-16s %10s %10s\n", "category", "incidents", "mean MTTR")
+	vals := map[string]float64{"incidents_resolved": float64(len(mttrs))}
+	// As with latencyMetrics: a trial that resolved nothing reports only
+	// its zero count, not a fake 0-hour repair time.
+	if len(mttrs) > 0 {
+		vals["mttr_mean_h"] = metrics.Mean(mttrs).Hours()
+		vals["mttr_median_h"] = metrics.Percentile(mttrs, 0.5).Hours()
+		vals["mttr_p95_h"] = metrics.Percentile(mttrs, 0.95).Hours()
+		vals["mttr_max_h"] = metrics.Percentile(mttrs, 1).Hours()
+	}
 	for _, cat := range metrics.Categories {
 		cat := cat
 		xs := site.Ledger.MTTRs(func(i *metrics.Incident) bool { return i.Category == cat })
 		if len(xs) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-16s %10d %10s\n", cat, len(xs), short(metrics.Mean(xs)))
+		vals["mttr_mean_h/"+string(cat)] = metrics.Mean(xs).Hours()
+		vals["incidents/"+string(cat)] = float64(len(xs))
 	}
-	return b.String()
+	return vals
 }
 
-func short(t simclock.Time) string {
-	if t == 0 {
-		return "-"
+// paperNote returns the paper's reference quote for a scenario, appended
+// under the campaign tables so the reproduced aggregates stay anchored
+// to the numbers §4 reports.
+func paperNote(name string) string {
+	switch name {
+	case "latency":
+		return "paper: manual detection ~1h (weekday daytime) / ~10h (overnight) / ~25h (weekend);\n" +
+			"intelliagents detect within the 5-minute cron period\n"
+	case "mttr":
+		return "paper: a diagnosed service or server restart took up to 2h;\n" +
+			"the full troubleshooting procedure averaged ~4h when experts came in\n"
+	case "ablate-cron":
+		return "paper: X = 5 minutes; detection latency and residual downtime scale with X\n"
+	case "ablate-rescue":
+		return "paper: without DGSPL-driven resubmission, failed overnight jobs stay dead\n"
+	case "ablate-net":
+		return "paper: the private network keeps agent traffic off the public LAN\n"
+	case "ablate-resident":
+		return "paper: cron-awakened agents cost ~0.045% CPU / 1.6 MB; a resident suite would\n" +
+			"hold its run-time demand continuously, like the commercial monitor\n"
 	}
-	return (t - t%simclock.Time(1e9)).String()
+	return ""
 }

@@ -3,6 +3,8 @@ package campaign
 import (
 	"math"
 	"sort"
+
+	"repro/internal/simclock"
 )
 
 // Stat summarises one metric across a group's trials. CI95 is the
@@ -71,15 +73,23 @@ func NewStat(xs []float64) Stat {
 }
 
 // Group aggregates the trials sharing one non-seed coordinate — the seed
-// axis is what the statistics run over.
+// axis is what the statistics run over. Option axes are part of the
+// coordinate: two cells differing only in cron period aggregate
+// separately.
 type Group struct {
-	Scenario string          `json:"scenario,omitempty"`
-	Site     string          `json:"site,omitempty"`
-	Mode     string          `json:"mode,omitempty"`
-	Days     int             `json:"days,omitempty"`
-	Seeds    int             `json:"seeds"`
-	Errors   int             `json:"errors,omitempty"`
-	Stats    map[string]Stat `json:"stats"`
+	Scenario          string          `json:"scenario,omitempty"`
+	Site              string          `json:"site,omitempty"`
+	Mode              string          `json:"mode,omitempty"`
+	Days              int             `json:"days,omitempty"`
+	CronPeriod        simclock.Time   `json:"cron_period,omitempty"`
+	AgentSet          string          `json:"agent_set,omitempty"`
+	NoBatchRescue     bool            `json:"no_batch_rescue,omitempty"`
+	DisablePrivateNet bool            `json:"disable_private_net,omitempty"`
+	BaselineMonitors  bool            `json:"baseline_monitors,omitempty"`
+	Overrides         string          `json:"overrides,omitempty"`
+	Seeds             int             `json:"seeds"`
+	Errors            int             `json:"errors,omitempty"`
+	Stats             map[string]Stat `json:"stats"`
 }
 
 // MetricNames lists the group's metric keys sorted, for stable rendering.
@@ -95,6 +105,30 @@ func (g Group) MetricNames() []string {
 type groupKey struct {
 	scenario, site, mode string
 	days                 int
+	cron                 simclock.Time
+	agentSet             string
+	noRescue, noNet, mon bool
+	overrides            string
+}
+
+func keyOf(t Trial) groupKey {
+	return groupKey{
+		scenario: t.Scenario, site: t.Site, mode: t.Mode, days: t.Days,
+		cron: t.CronPeriod, agentSet: t.AgentSet,
+		noRescue: t.NoBatchRescue, noNet: t.DisablePrivateNet, mon: t.BaselineMonitors,
+		overrides: t.Overrides,
+	}
+}
+
+// GroupOf names the aggregation cell a trial belongs to — the trial's
+// coordinates minus the seed.
+func GroupOf(t Trial) Group {
+	return Group{
+		Scenario: t.Scenario, Site: t.Site, Mode: t.Mode, Days: t.Days,
+		CronPeriod: t.CronPeriod, AgentSet: t.AgentSet,
+		NoBatchRescue: t.NoBatchRescue, DisablePrivateNet: t.DisablePrivateNet,
+		BaselineMonitors: t.BaselineMonitors, Overrides: t.Overrides,
+	}
 }
 
 // Aggregate folds trial results into per-group statistics. Groups appear
@@ -107,10 +141,11 @@ func Aggregate(trials []TrialResult) []Group {
 	samples := make(map[groupKey]map[string][]float64)
 	groups := make(map[groupKey]*Group)
 	for _, tr := range trials {
-		k := groupKey{tr.Trial.Scenario, tr.Trial.Site, tr.Trial.Mode, tr.Trial.Days}
+		k := keyOf(tr.Trial)
 		g, ok := groups[k]
 		if !ok {
-			g = &Group{Scenario: k.scenario, Site: k.site, Mode: k.mode, Days: k.days}
+			gv := GroupOf(tr.Trial)
+			g = &gv
 			groups[k] = g
 			samples[k] = make(map[string][]float64)
 			order = append(order, k)

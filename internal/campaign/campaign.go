@@ -1,7 +1,10 @@
 // Package campaign runs experiment campaigns: a matrix of
-// {seeds × scenarios × site sizes × modes} fanned across a bounded worker
-// pool, with per-trial metrics folded into statistical aggregates
-// (mean / min / max / 95% confidence interval across seeds).
+// {seeds × scenarios × site sizes × modes × option axes} fanned across a
+// bounded worker pool, with per-trial metrics folded into statistical
+// aggregates (mean / min / max / 95% confidence interval across seeds).
+// Option axes (cron period, agent set, the boolean ablation toggles, and
+// the opaque Overrides label) let one campaign sweep scenario options per
+// cell instead of always running defaults.
 //
 // The package is deliberately generic: a Trial is a coordinate in the
 // matrix, and the caller supplies a RunFunc that executes one trial and
@@ -18,10 +21,13 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/simclock"
 )
 
 // Trial is one coordinate of the campaign matrix. Axes the matrix does not
-// sweep are left as their zero values.
+// sweep are left as their zero values; a zero option axis means "the
+// scenario's default" (e.g. CronPeriod 0 is the paper's 5 minutes).
 type Trial struct {
 	Index    int    `json:"index"`
 	Seed     uint64 `json:"seed"`
@@ -29,6 +35,17 @@ type Trial struct {
 	Site     string `json:"site,omitempty"`
 	Mode     string `json:"mode,omitempty"`
 	Days     int    `json:"days,omitempty"`
+	// Option axes: scenario options swept per cell rather than fixed at
+	// their defaults. CronPeriod is the agents' wake-up period X;
+	// AgentSet names the per-host deployment ("lean" or "full"); the
+	// booleans are the DESIGN.md ablation toggles; Overrides names an
+	// opaque caller-registered options mutator applied after the axes.
+	CronPeriod        simclock.Time `json:"cron_period,omitempty"`
+	AgentSet          string        `json:"agent_set,omitempty"`
+	NoBatchRescue     bool          `json:"no_batch_rescue,omitempty"`
+	DisablePrivateNet bool          `json:"disable_private_net,omitempty"`
+	BaselineMonitors  bool          `json:"baseline_monitors,omitempty"`
+	Overrides         string        `json:"overrides,omitempty"`
 }
 
 // Matrix enumerates the campaign: the cross product of its axes, one Trial
@@ -40,6 +57,14 @@ type Matrix struct {
 	Sites     []string `json:"sites,omitempty"`
 	Modes     []string `json:"modes,omitempty"`
 	Days      int      `json:"days,omitempty"`
+	// Option axes (see Trial). A boolean axis sweeps explicit values —
+	// []bool{false, true} is the usual with/without ablation pair.
+	CronPeriods       []simclock.Time `json:"cron_periods,omitempty"`
+	AgentSets         []string        `json:"agent_sets,omitempty"`
+	NoBatchRescue     []bool          `json:"no_batch_rescue,omitempty"`
+	DisablePrivateNet []bool          `json:"disable_private_net,omitempty"`
+	BaselineMonitors  []bool          `json:"baseline_monitors,omitempty"`
+	Overrides         []string        `json:"overrides,omitempty"`
 }
 
 // Seeds returns n sequential seeds starting at base — the conventional way
@@ -59,19 +84,50 @@ func orBlank(xs []string) []string {
 	return xs
 }
 
+func orZeroTime(xs []simclock.Time) []simclock.Time {
+	if len(xs) == 0 {
+		return []simclock.Time{0}
+	}
+	return xs
+}
+
+func orFalse(xs []bool) []bool {
+	if len(xs) == 0 {
+		return []bool{false}
+	}
+	return xs
+}
+
 // Trials enumerates the cross product in deterministic order: scenario
-// outermost, then site, then mode, with the seed axis innermost so that
-// one aggregation group's trials are contiguous.
+// outermost, then site, mode, cron period, agent set, the ablation
+// toggles (batch rescue, private net, baseline monitors), and overrides,
+// with the seed axis innermost so that one aggregation group's trials are
+// contiguous.
 func (m Matrix) Trials() []Trial {
 	var out []Trial
 	for _, sc := range orBlank(m.Scenarios) {
 		for _, site := range orBlank(m.Sites) {
 			for _, mode := range orBlank(m.Modes) {
-				for _, seed := range m.Seeds {
-					out = append(out, Trial{
-						Index: len(out), Seed: seed, Scenario: sc,
-						Site: site, Mode: mode, Days: m.Days,
-					})
+				for _, cron := range orZeroTime(m.CronPeriods) {
+					for _, as := range orBlank(m.AgentSets) {
+						for _, rescue := range orFalse(m.NoBatchRescue) {
+							for _, noNet := range orFalse(m.DisablePrivateNet) {
+								for _, mon := range orFalse(m.BaselineMonitors) {
+									for _, ov := range orBlank(m.Overrides) {
+										for _, seed := range m.Seeds {
+											out = append(out, Trial{
+												Index: len(out), Seed: seed, Scenario: sc,
+												Site: site, Mode: mode, Days: m.Days,
+												CronPeriod: cron, AgentSet: as,
+												NoBatchRescue: rescue, DisablePrivateNet: noNet,
+												BaselineMonitors: mon, Overrides: ov,
+											})
+										}
+									}
+								}
+							}
+						}
+					}
 				}
 			}
 		}

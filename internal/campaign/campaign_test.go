@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -100,6 +101,113 @@ func TestMatrixEnumeration(t *testing.T) {
 		if trials[i] != want[i] {
 			t.Errorf("trial %d = %+v, want %+v", i, trials[i], want[i])
 		}
+	}
+}
+
+// TestMatrixOptionAxisEnumeration pins the option-axis order: cron
+// period varies before the boolean toggles, and every axis varies before
+// the seed (the seed axis stays innermost so one group's trials are
+// contiguous).
+func TestMatrixOptionAxisEnumeration(t *testing.T) {
+	m := Matrix{
+		Seeds:         []uint64{1, 2},
+		Scenarios:     []string{"sc"},
+		CronPeriods:   []simclock.Time{simclock.Minute, 5 * simclock.Minute},
+		NoBatchRescue: []bool{false, true},
+		Days:          1,
+	}
+	trials := m.Trials()
+	want := []Trial{
+		{Index: 0, Seed: 1, Scenario: "sc", Days: 1, CronPeriod: simclock.Minute},
+		{Index: 1, Seed: 2, Scenario: "sc", Days: 1, CronPeriod: simclock.Minute},
+		{Index: 2, Seed: 1, Scenario: "sc", Days: 1, CronPeriod: simclock.Minute, NoBatchRescue: true},
+		{Index: 3, Seed: 2, Scenario: "sc", Days: 1, CronPeriod: simclock.Minute, NoBatchRescue: true},
+		{Index: 4, Seed: 1, Scenario: "sc", Days: 1, CronPeriod: 5 * simclock.Minute},
+		{Index: 5, Seed: 2, Scenario: "sc", Days: 1, CronPeriod: 5 * simclock.Minute},
+		{Index: 6, Seed: 1, Scenario: "sc", Days: 1, CronPeriod: 5 * simclock.Minute, NoBatchRescue: true},
+		{Index: 7, Seed: 2, Scenario: "sc", Days: 1, CronPeriod: 5 * simclock.Minute, NoBatchRescue: true},
+	}
+	if len(trials) != len(want) {
+		t.Fatalf("want %d trials, got %d", len(want), len(trials))
+	}
+	for i := range want {
+		if trials[i] != want[i] {
+			t.Errorf("trial %d = %+v, want %+v", i, trials[i], want[i])
+		}
+	}
+}
+
+// TestTrialJSONRoundTrip: the trial coordinates are part of the campaign
+// record, so they must survive encode/decode exactly.
+func TestTrialJSONRoundTrip(t *testing.T) {
+	in := Trial{
+		Index: 3, Seed: 11, Scenario: "ablate-cron", Site: "small", Mode: "agents",
+		Days: 90, CronPeriod: 15 * simclock.Minute, AgentSet: "full",
+		NoBatchRescue: true, DisablePrivateNet: true, BaselineMonitors: true,
+		Overrides: "custom",
+	}
+	js, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Trial
+	if err := json.Unmarshal(js, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed the trial:\n in: %+v\nout: %+v\n json: %s", in, out, js)
+	}
+
+	// Zero option axes stay out of the record: the JSON form of a plain
+	// trial must not grow when axes it does not use are added.
+	js, err = json.Marshal(Trial{Index: 1, Seed: 2, Scenario: "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"cron_period", "agent_set", "no_batch_rescue",
+		"disable_private_net", "baseline_monitors", "overrides"} {
+		if bytes.Contains(js, []byte(forbidden)) {
+			t.Errorf("zero axis %q serialised: %s", forbidden, js)
+		}
+	}
+}
+
+// TestAggregateGroupsByOptionAxes: cells differing only in an option
+// axis must aggregate separately, in first-trial order.
+func TestAggregateGroupsByOptionAxes(t *testing.T) {
+	m := Matrix{
+		Seeds:       Seeds(1, 3),
+		CronPeriods: []simclock.Time{simclock.Minute, 5 * simclock.Minute},
+		Overrides:   []string{"", "tuned"},
+		Days:        1,
+	}
+	res := mustRun(t, "axes", m, 2, simTrial)
+	if len(res.Groups) != 4 {
+		t.Fatalf("want 4 groups (2 crons × 2 overrides), got %d", len(res.Groups))
+	}
+	wantGroups := []struct {
+		cron simclock.Time
+		ov   string
+	}{
+		{simclock.Minute, ""}, {simclock.Minute, "tuned"},
+		{5 * simclock.Minute, ""}, {5 * simclock.Minute, "tuned"},
+	}
+	for i, w := range wantGroups {
+		g := res.Groups[i]
+		if g.CronPeriod != w.cron || g.Overrides != w.ov {
+			t.Errorf("group %d = cron %v overrides %q, want cron %v overrides %q",
+				i, g.CronPeriod, g.Overrides, w.cron, w.ov)
+		}
+		if g.Seeds != 3 || g.Stats["sum"].N != 3 {
+			t.Errorf("group %d aggregated wrong seed count: %+v", i, g)
+		}
+	}
+	// Same seed, same metrics: the seed axis, not the option axis, drives
+	// simTrial, so sibling groups must agree — confirming grouping (not
+	// metric content) is what separated them.
+	if res.Groups[0].Stats["sum"] != res.Groups[1].Stats["sum"] {
+		t.Errorf("sibling groups should carry identical stats: %+v vs %+v",
+			res.Groups[0].Stats["sum"], res.Groups[1].Stats["sum"])
 	}
 }
 

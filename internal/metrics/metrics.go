@@ -69,6 +69,26 @@ func (i *Incident) Downtime(now simclock.Time) simclock.Time {
 	return now - i.StartedAt
 }
 
+// The §4 fault windows, shared by the report and the latency campaign so
+// the same incident is never classified two ways. Overnight and weekend
+// are disjoint: weekend nights count as weekend.
+
+// WindowDay reports whether the incident started in weekday daytime.
+func WindowDay(i *Incident) bool {
+	return !i.StartedAt.IsWeekend() && !i.StartedAt.IsOvernight()
+}
+
+// WindowOvernight reports whether the incident started in a weekday
+// overnight batch window (22:00–06:00).
+func WindowOvernight(i *Incident) bool {
+	return i.StartedAt.IsOvernight() && !i.StartedAt.IsWeekend()
+}
+
+// WindowWeekend reports whether the incident started on a weekend.
+func WindowWeekend(i *Incident) bool {
+	return i.StartedAt.IsWeekend()
+}
+
 // Ledger records incidents and charges downtime per category.
 type Ledger struct {
 	incidents []*Incident

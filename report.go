@@ -45,15 +45,9 @@ func (s *Site) Report() Report {
 	lats := s.Ledger.DetectionLatencies(nil)
 	r.MeanDetect = metrics.Mean(lats)
 	r.P95Detect = metrics.Percentile(lats, 0.95)
-	r.DetectDay = metrics.Mean(s.Ledger.DetectionLatencies(func(i *metrics.Incident) bool {
-		return !i.StartedAt.IsWeekend() && !i.StartedAt.IsOvernight()
-	}))
-	r.DetectNight = metrics.Mean(s.Ledger.DetectionLatencies(func(i *metrics.Incident) bool {
-		return i.StartedAt.IsOvernight() && !i.StartedAt.IsWeekend()
-	}))
-	r.DetectWkend = metrics.Mean(s.Ledger.DetectionLatencies(func(i *metrics.Incident) bool {
-		return i.StartedAt.IsWeekend()
-	}))
+	r.DetectDay = metrics.Mean(s.Ledger.DetectionLatencies(metrics.WindowDay))
+	r.DetectNight = metrics.Mean(s.Ledger.DetectionLatencies(metrics.WindowOvernight))
+	r.DetectWkend = metrics.Mean(s.Ledger.DetectionLatencies(metrics.WindowWeekend))
 	r.MeanMTTR = metrics.Mean(s.Ledger.MTTRs(nil))
 	counts := s.LSF.CountByState()
 	r.JobsDone = counts[lsf.JobDone]
@@ -104,7 +98,7 @@ func FormatCampaign(r *campaign.Result) string {
 	fmt.Fprintf(&b, "=== campaign %s: %d trials, %d groups ===\n", r.Name, len(r.Trials), len(r.Groups))
 	for _, g := range r.Groups {
 		b.WriteByte('\n')
-		fmt.Fprintf(&b, "--- %s", groupLabel(g))
+		fmt.Fprintf(&b, "--- %s", GroupLabel(g))
 		fmt.Fprintf(&b, " (%d seeds", g.Seeds)
 		if g.Errors > 0 {
 			fmt.Fprintf(&b, ", %d FAILED", g.Errors)
@@ -119,17 +113,17 @@ func FormatCampaign(r *campaign.Result) string {
 	if errs := r.Errs(); len(errs) > 0 {
 		b.WriteString("\nfailed trials:\n")
 		for _, tr := range errs {
-			fmt.Fprintf(&b, "  #%d seed=%d %s: %s\n", tr.Trial.Index, tr.Trial.Seed, groupLabel(campaign.Group{
-				Scenario: tr.Trial.Scenario, Site: tr.Trial.Site, Mode: tr.Trial.Mode, Days: tr.Trial.Days,
-			}), tr.Err)
+			fmt.Fprintf(&b, "  #%d seed=%d %s: %s\n", tr.Trial.Index, tr.Trial.Seed,
+				GroupLabel(campaign.GroupOf(tr.Trial)), tr.Err)
 		}
 	}
 	return b.String()
 }
 
-// groupLabel names the non-seed coordinates of a group, skipping blank
-// axes.
-func groupLabel(g campaign.Group) string {
+// GroupLabel names the non-seed coordinates of a group, skipping blank
+// axes; option axes at their zero value (the scenario default) are
+// likewise skipped.
+func GroupLabel(g campaign.Group) string {
 	var parts []string
 	if g.Scenario != "" {
 		parts = append(parts, "scenario="+g.Scenario)
@@ -142,6 +136,24 @@ func groupLabel(g campaign.Group) string {
 	}
 	if g.Days > 0 {
 		parts = append(parts, fmt.Sprintf("days=%d", g.Days))
+	}
+	if g.CronPeriod > 0 {
+		parts = append(parts, fmt.Sprintf("cron=%v", g.CronPeriod))
+	}
+	if g.AgentSet != "" {
+		parts = append(parts, "agents="+g.AgentSet)
+	}
+	if g.NoBatchRescue {
+		parts = append(parts, "no-batch-rescue")
+	}
+	if g.DisablePrivateNet {
+		parts = append(parts, "no-private-net")
+	}
+	if g.BaselineMonitors {
+		parts = append(parts, "baseline-monitors")
+	}
+	if g.Overrides != "" {
+		parts = append(parts, "overrides="+g.Overrides)
 	}
 	if len(parts) == 0 {
 		return "all"

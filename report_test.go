@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/simclock"
 )
 
 func TestFormatCampaign(t *testing.T) {
@@ -37,6 +38,100 @@ func TestFormatCampaign(t *testing.T) {
 	// Seeds 1..3 → values 2,4,6: mean 4 with the min/max envelope shown.
 	if !strings.Contains(out, "4.000") || !strings.Contains(out, "2.000") || !strings.Contains(out, "6.000") {
 		t.Errorf("aggregate row wrong:\n%s", out)
+	}
+}
+
+// TestFormatCampaignGolden pins the campaign tables byte for byte on
+// hand-computed fixtures, CI bands included:
+//
+//	{1,2,3}: mean 2, stddev 1,  CI95 = 4.303·1/√3 = 2.484…
+//	{2,4,6}: mean 4, stddev 2,  CI95 = 4.303·2/√3 = 4.969…
+//	{1,2,3,4}: mean 2.5, stddev √(5/3), CI95 = 3.182·√(5/3)/2 = 2.054…
+//	{9}: singleton — zero spread, zero CI
+func TestFormatCampaignGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		m    campaign.Matrix
+		fn   campaign.RunFunc
+		want string
+	}{
+		{
+			name: "option-axis cron sweep",
+			m: campaign.Matrix{
+				Seeds:       campaign.Seeds(1, 3),
+				Scenarios:   []string{"ablate-cron"},
+				Modes:       []string{"agents"},
+				CronPeriods: []simclock.Time{simclock.Minute, 5 * simclock.Minute},
+				Days:        30,
+			},
+			fn: func(tr campaign.Trial) (map[string]float64, error) {
+				v := float64(tr.Seed)
+				if tr.CronPeriod == 5*simclock.Minute {
+					v *= 2
+				}
+				return map[string]float64{"detect_s": v}, nil
+			},
+			want: `=== campaign golden: 6 trials, 2 groups ===
+
+--- scenario=ablate-cron mode=agents days=30 cron=1m0s (3 seeds) ---
+metric                               mean    ±95% CI          min          max
+detect_s                            2.000      2.484        1.000        3.000
+
+--- scenario=ablate-cron mode=agents days=30 cron=5m0s (3 seeds) ---
+metric                               mean    ±95% CI          min          max
+detect_s                            4.000      4.969        2.000        6.000
+`,
+		},
+		{
+			name: "four seeds two metrics",
+			m: campaign.Matrix{
+				Seeds:         campaign.Seeds(1, 4),
+				Scenarios:     []string{"ablate-rescue"},
+				NoBatchRescue: []bool{true},
+				Days:          90,
+			},
+			fn: func(tr campaign.Trial) (map[string]float64, error) {
+				return map[string]float64{
+					"jobs_failed": float64(tr.Seed),
+					"jobs_done":   100,
+				}, nil
+			},
+			want: `=== campaign golden: 4 trials, 1 groups ===
+
+--- scenario=ablate-rescue days=90 no-batch-rescue (4 seeds) ---
+metric                               mean    ±95% CI          min          max
+jobs_done                         100.000      0.000      100.000      100.000
+jobs_failed                         2.500      2.054        1.000        4.000
+`,
+		},
+		{
+			name: "singleton seed",
+			m: campaign.Matrix{
+				Seeds:     []uint64{9},
+				Overrides: []string{"tuned"},
+			},
+			fn: func(tr campaign.Trial) (map[string]float64, error) {
+				return map[string]float64{"v": float64(tr.Seed)}, nil
+			},
+			want: `=== campaign golden: 1 trials, 1 groups ===
+
+--- overrides=tuned (1 seeds) ---
+metric                               mean    ±95% CI          min          max
+v                                   9.000      0.000        9.000        9.000
+`,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := campaign.Run("golden", c.m, 1, c.fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := FormatCampaign(res); got != c.want {
+				t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, c.want)
+			}
+		})
 	}
 }
 

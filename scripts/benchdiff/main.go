@@ -1,0 +1,217 @@
+// Command benchdiff compares two performance data points and fails on
+// regression. It is the CI perf gate: the bench job keeps the previous
+// build's artifacts in a cache and runs
+//
+//	go run ./scripts/benchdiff old-bench.txt new-bench.txt
+//
+// once two data points exist (the first build passes vacuously because
+// there is nothing to compare against).
+//
+// Two input formats are auto-detected:
+//
+//   - `go test -bench` text (e.g. bench.txt, bench-agentday.txt): ns/op
+//     is compared per benchmark; a benchmark slower than the old point
+//     by more than -threshold (default 20%) fails the gate. With
+//     -count > 1 the best (minimum) ns/op per name is used, which
+//     filters scheduler noise.
+//
+//   - campaign JSON records (*.json, e.g. campaign-smoke.json): per-group
+//     metric means are compared and drifts beyond the threshold are
+//     reported. Simulation metrics legitimately move when the model
+//     changes, so JSON drift is report-only unless -fail is given.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	qoscluster "repro"
+	"repro/internal/campaign"
+)
+
+var (
+	threshold = flag.Float64("threshold", 0.20, "relative regression that fails the gate (0.20 = +20%)")
+	failDrift = flag.Bool("fail", false, "fail on campaign-JSON metric drift too (default: report only)")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold F] [-fail] OLD NEW\n")
+		fmt.Fprintf(os.Stderr, "OLD and NEW are two `go test -bench` outputs or two campaign JSON records.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	var regressions []string
+	var err error
+	if strings.HasSuffix(oldPath, ".json") {
+		regressions, err = diffCampaign(oldPath, newPath, *threshold)
+		if err == nil && !*failDrift && len(regressions) > 0 {
+			fmt.Printf("benchdiff: %d metric drift(s) beyond %.0f%% (report only; -fail to gate)\n",
+				len(regressions), *threshold*100)
+			regressions = nil
+		}
+	} else {
+		regressions, err = diffBench(oldPath, newPath, *threshold)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d regression(s) beyond %.0f%%:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+// "BenchmarkAgentDay-8   3   123456789 ns/op   42 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench returns the best (minimum) ns/op per benchmark name.
+func parseBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	best := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, ok := best[m[1]]; !ok || ns < old {
+			best[m[1]] = ns
+		}
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return best, nil
+}
+
+// diffBench compares ns/op per benchmark, printing the comparison table
+// and returning the regressions beyond the threshold.
+func diffBench(oldPath, newPath string, threshold float64) ([]string, error) {
+	oldNs, err := parseBench(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newNs, err := parseBench(newPath)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		if _, ok := oldNs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	sort.Strings(names)
+	var regressions []string
+	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldNs[name], newNs[name]
+		delta := (n - o) / o
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%%\n", name, o, n, delta*100)
+		if delta > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", name, o, n, delta*100))
+		}
+	}
+	return regressions, nil
+}
+
+// parseCampaign reads one campaign record (or an array of them, the
+// -ablate form) and flattens per-group metric means keyed by the full
+// group coordinates, so groups match across builds even if their order
+// in the record changes.
+func parseCampaign(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []campaign.Result
+	if err := json.Unmarshal(data, &records); err != nil {
+		var one campaign.Result
+		if err := json.Unmarshal(data, &one); err != nil {
+			return nil, fmt.Errorf("%s: not a campaign record: %v", path, err)
+		}
+		records = []campaign.Result{one}
+	}
+	means := map[string]float64{}
+	for _, rec := range records {
+		for _, g := range rec.Groups {
+			prefix := rec.Name + "[" + qoscluster.GroupLabel(g) + "]"
+			for metric, s := range g.Stats {
+				means[prefix+" "+metric] = s.Mean
+			}
+		}
+	}
+	if len(means) == 0 {
+		return nil, fmt.Errorf("%s: no group stats found", path)
+	}
+	return means, nil
+}
+
+// diffCampaign compares per-group metric means between two campaign
+// records and returns drifts beyond the threshold.
+func diffCampaign(oldPath, newPath string, threshold float64) ([]string, error) {
+	oldM, err := parseCampaign(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newM, err := parseCampaign(newPath)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(newM))
+	for k := range newM {
+		if _, ok := oldM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var drifts []string
+	for _, k := range keys {
+		o, n := oldM[k], newM[k]
+		if o == 0 {
+			// No relative delta off a zero baseline: flag material
+			// appearances honestly instead of fabricating a percentage.
+			if math.Abs(n) > 1e-6 {
+				drifts = append(drifts, fmt.Sprintf("%s: %.3f → %.3f (from zero baseline)", k, o, n))
+			}
+			continue
+		}
+		delta := (n - o) / o
+		if delta > threshold || delta < -threshold {
+			drifts = append(drifts, fmt.Sprintf("%s: %.3f → %.3f (%+.1f%%)", k, o, n, delta*100))
+		}
+	}
+	for _, d := range drifts {
+		fmt.Println("  drift " + d)
+	}
+	fmt.Printf("campaign diff: %d comparable metrics, %d drifted beyond %.0f%%\n", len(keys), len(drifts), threshold*100)
+	return drifts, nil
+}
