@@ -8,7 +8,7 @@ PKGS := ./...
 # not when tee does.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test test-race bench bench-agentday lint fmt campaign-smoke benchdiff clean
+.PHONY: all build test test-race bench bench-agentday lint staticcheck fmt campaign-smoke topology-smoke benchdiff clean
 
 all: lint build test
 
@@ -41,18 +41,36 @@ campaign-smoke:
 	$(GO) run ./cmd/qossim campaign -trials 2 -workers 4 -days 7 -seed 7 \
 		-cron 5m,60m -out ablate-smoke.json -scenario ablate-cron
 
+# Site-axis smoke: one campaign sweeping the paper site, the scaled site
+# and the checked-in custom-topology JSON fixture, plus a single run
+# driven straight off the fixture file.
+topology-smoke:
+	$(GO) run ./cmd/qossim campaign -trials 2 -workers 4 -days 2 -seed 7 \
+		-site paper,small,testdata/topology-edge.json -out topology-smoke.json before
+	$(GO) run ./cmd/qossim -days 2 -trials 2 -site testdata/topology-edge.json after
+
 # Compare two bench data points (fails on >20% ns/op regression):
 #   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
 benchdiff:
 	$(GO) run ./scripts/benchdiff $(OLD) $(NEW)
 
-lint:
+lint: staticcheck
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet $(PKGS)
+
+# staticcheck is optional locally (no network / no install required): the
+# target runs it when present and says how to get it when not. CI always
+# installs and runs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck $(PKGS); \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1 — the version CI pins)"; \
+	fi
 
 fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json bench.txt bench-agentday.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json bench.txt bench-agentday.txt

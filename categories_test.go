@@ -23,7 +23,7 @@ func runCategory(t *testing.T, cat metrics.Category, window faultinject.Window, 
 			Category: cat, MeanInterarrival: simclock.Day, Window: window,
 		}},
 	})
-	site.Run(simclock.Time(days) * simclock.Day)
+	mustRun(t, site, simclock.Time(days)*simclock.Day)
 	if n := len(site.Ledger.Incidents()); n == 0 {
 		t.Fatalf("%s: no incidents injected", cat)
 	}
@@ -142,7 +142,7 @@ func TestAfterYearResidualShape(t *testing.T) {
 		t.Skip("medium-length simulation")
 	}
 	site := BuildSite(SmallSite(7), Options{Mode: ModeAgents})
-	site.Run(60 * simclock.Day)
+	mustRun(t, site, 60*simclock.Day)
 	r := site.Report()
 	humanOnly := r.DowntimeHours(metrics.CatFirewallNet) +
 		r.DowntimeHours(metrics.CatHardware) +

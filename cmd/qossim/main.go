@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	qossim [-seed N] [-days D] [-site small|paper] [-trials N] [-workers W] <scenario>
+//	qossim [-seed N] [-days D] [-site LIST] [-trials N] [-workers W] <scenario>
 //	qossim campaign [-scenario NAME] [-trials N] [-workers W] [-seed N]
-//	                [-days D] [-site small|paper] [-cron LIST] [-ablate LIST]
+//	                [-days D] [-site LIST] [-cron LIST] [-ablate LIST]
 //	                [-json] [-out FILE] [<name>]
+//
+// -site takes a comma-separated list of site topologies: registered names
+// (paper, small, webfarm, computefarm, or anything registered with
+// qoscluster.RegisterTopology) and/or paths to topology JSON files, which
+// are loaded and registered under their declared names. Campaigns sweep
+// the whole list as a first-class matrix axis — one aggregation group per
+// site — while the narrative scenarios run each site in turn.
 //
 // Scenarios:
 //
@@ -55,7 +62,7 @@ func main() {
 	}
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	days := flag.Int("days", 0, "simulated days (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
-	site := flag.String("site", "small", "site size: small or paper")
+	site := flag.String("site", "small", "comma-separated site topologies: registered names (paper, small, webfarm, computefarm) and/or topology JSON files")
 	trials := flag.Int("trials", 8, "seeds per cell for the campaign-backed scenarios (latency, mttr, ablate)")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = NumCPU)")
 	flag.Usage = func() {
@@ -68,7 +75,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper",
+	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site),
 		Trials: *trials, Workers: *workers}
 	out, err := experiments.Run(flag.Arg(0), cfg)
 	// Print whatever rendered before erroring: a campaign with failed
@@ -90,7 +97,7 @@ func runCampaign(args []string) {
 	trials := fs.Int("trials", 16, "seeds per matrix cell")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	days := fs.Int("days", 0, "simulated days per trial (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
-	site := fs.String("site", "small", "site size: small or paper")
+	site := fs.String("site", "small", "comma-separated site topologies to sweep: registered names and/or topology JSON files")
 	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
 	ablate := fs.String("ablate", "", "run ablation campaigns back to back: comma list of cron,rescue,net,resident, or all")
 	jsonOut := fs.Bool("json", false, "print the machine-readable campaign JSON instead of tables")
@@ -107,7 +114,7 @@ func runCampaign(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Days: *days, PaperSite: *site == "paper"}
+	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site)}
 	if *cron != "" {
 		periods, err := parsePeriods(*cron)
 		if err != nil {
@@ -215,6 +222,17 @@ func campaignNames(scenario, ablate string, args []string) ([]string, error) {
 		name = "fig2"
 	}
 	return []string{name}, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parsePeriods parses a comma-separated duration list into simulated

@@ -8,22 +8,50 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	qoscluster "repro"
 	"repro/internal/agents"
-	"repro/internal/faultinject"
 	"repro/internal/lsf"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 )
 
 func main() {
-	site := qoscluster.BuildSite(
-		qoscluster.SiteSpec{Name: "demo-dc", Geo: "UK", Seed: 3,
-			DatabaseHosts: 6, TransactionHosts: 1, FrontEndHosts: 1},
-		qoscluster.Options{Mode: qoscluster.ModeAgents, Faults: []faultinject.Spec{}},
+	// A paper-shaped demo site: six database hosts with the E10K/E4500
+	// spread and the 3:1 Oracle/Sybase mix, declared via Cycle/Phases the
+	// way the canned paper topology is.
+	topo := qoscluster.Topology{
+		Name: "demo-dc", Geo: "UK",
+		Tiers: []qoscluster.Tier{
+			{Name: "db", Role: "database", Hosts: 6, IPBlock: "10.2.0",
+				Hardware: []string{"E10K", "E4500", "E4500"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "oracle", Name: "ORA-%03d", Port: 1521, Cycle: 4, Phases: []int{0, 1, 2}, LSFTarget: true},
+					{Kind: "sybase", Name: "SYB-%03d", Port: 4100, Cycle: 4, Phases: []int{3}, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "tx", Role: "transaction", Hosts: 1, IPBlock: "10.3.0",
+				Hardware: []string{"E450"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
+				}},
+			{Name: "fe", Role: "frontend", Hosts: 1, IPBlock: "10.4.0",
+				Hardware: []string{"SP2"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1, DependsOn: "db"},
+				}},
+		},
+	}
+	site, err := qoscluster.NewSite(topo,
+		qoscluster.WithSeed(3),
+		qoscluster.WithMode(qoscluster.ModeAgents),
+		qoscluster.WithNoFaults(),
 	)
-	site.Run(simclock.Hour) // agents settle; first DGSPLs generated
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(site.Run(simclock.Hour)) // agents settle; first DGSPLs generated
 
 	// The user hand-picks ORA-002 (an E4500) for three overnight jobs.
 	victim := site.Dir.Get("ORA-002")
@@ -37,7 +65,7 @@ func main() {
 		len(jobs), victim.Spec.Name, victim.Host.Model.Name, victim.Host.Model.Power())
 
 	// An hour in, the database crashes mid-job.
-	site.Run(site.Sim.Now() + simclock.Hour)
+	must(site.Run(site.Sim.Now() + simclock.Hour))
 	site.Sim.Schedule(site.Sim.Now(), "crash", func(now simclock.Time) {
 		victim.Crash()
 		site.LSF.FailJobsOn(victim.Spec.Name, "database crashed mid-job")
@@ -47,7 +75,7 @@ func main() {
 	})
 
 	// Give the admin sweep one cron period to act.
-	site.Run(site.Sim.Now() + 15*simclock.Minute)
+	must(site.Run(site.Sim.Now() + 15*simclock.Minute))
 
 	fmt.Println("\nafter the administration servers' batch sweep:")
 	for _, j := range jobs {
@@ -66,10 +94,16 @@ func main() {
 
 	// Run to completion: jobs finish on their new servers, and the crashed
 	// database is long since restarted by its service agent.
-	site.Run(site.Sim.Now() + 8*simclock.Hour)
+	must(site.Run(site.Sim.Now() + 8*simclock.Hour))
 	fmt.Println()
 	for _, j := range jobs {
 		fmt.Printf("  job %d final state %s on %s\n", j.ID, j.State, j.Server)
 	}
 	fmt.Printf("%s is %v again (restarted by its intelliagent)\n", victim.Spec.Name, victim.State())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

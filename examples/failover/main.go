@@ -6,19 +6,43 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	qoscluster "repro"
-	"repro/internal/faultinject"
 	"repro/internal/simclock"
 )
 
 func main() {
-	site := qoscluster.BuildSite(
-		qoscluster.SiteSpec{Name: "demo-dc", Geo: "UK", Seed: 5,
-			DatabaseHosts: 4, TransactionHosts: 1, FrontEndHosts: 1},
-		qoscluster.Options{Mode: qoscluster.ModeAgents, Faults: []faultinject.Spec{}},
+	topo := qoscluster.Topology{
+		Name: "demo-dc", Geo: "UK",
+		Tiers: []qoscluster.Tier{
+			{Name: "db", Role: "database", Hosts: 4, IPBlock: "10.2.0",
+				Hardware: []string{"E10K", "E4500", "E4500"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "oracle", Name: "ORA-%03d", Port: 1521, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "tx", Role: "transaction", Hosts: 1, IPBlock: "10.3.0",
+				Hardware: []string{"E450"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
+				}},
+			{Name: "fe", Role: "frontend", Hosts: 1, IPBlock: "10.4.0",
+				Hardware: []string{"SP2"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1, DependsOn: "db"},
+				}},
+		},
+	}
+	site, err := qoscluster.NewSite(topo,
+		qoscluster.WithSeed(5),
+		qoscluster.WithMode(qoscluster.ModeAgents),
+		qoscluster.WithNoFaults(),
 	)
-	site.Run(30 * simclock.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(site.Run(30 * simclock.Minute))
 
 	fmt.Printf("active admin server: %s, DLSPs received: %d\n",
 		site.Admin.Active().Host.Name, site.Admin.DLSPReceived)
@@ -26,11 +50,11 @@ func main() {
 	// --- Part 1: kill the primary administration server. ---
 	fmt.Println("\n-- crashing admin1 --")
 	site.DC.Host("admin1").Crash()
-	site.Run(site.Sim.Now() + 5*simclock.Minute)
+	must(site.Run(site.Sim.Now() + 5*simclock.Minute))
 	fmt.Printf("active admin server now: %s (failovers: %d)\n",
 		site.Admin.Active().Host.Name, site.Admin.Failovers)
 	before := site.Admin.DLSPReceived
-	site.Run(site.Sim.Now() + 15*simclock.Minute)
+	must(site.Run(site.Sim.Now() + 15*simclock.Minute))
 	fmt.Printf("DLSPs keep flowing to the standby: +%d in 15 minutes\n",
 		site.Admin.DLSPReceived-before)
 	if dg := site.Admin.LatestDGSPL(); dg != nil {
@@ -42,7 +66,7 @@ func main() {
 	pubBefore := site.Public.Stats().Bytes
 	privBefore := site.Private.Stats().Bytes
 	site.Private.SetUp(false)
-	site.Run(site.Sim.Now() + 30*simclock.Minute)
+	must(site.Run(site.Sim.Now() + 30*simclock.Minute))
 	fmt.Printf("agent traffic rerouted to public LAN: +%d bytes public, +%d bytes private\n",
 		site.Public.Stats().Bytes-pubBefore, site.Private.Stats().Bytes-privBefore)
 
@@ -51,8 +75,13 @@ func main() {
 	site.Private.SetUp(true)
 	pubBefore = site.Public.Stats().Bytes
 	privBefore = site.Private.Stats().Bytes
-	site.Run(site.Sim.Now() + 30*simclock.Minute)
+	must(site.Run(site.Sim.Now() + 30*simclock.Minute))
 	fmt.Printf("traffic back on the private LAN: +%d bytes private, +%d bytes public\n",
 		site.Private.Stats().Bytes-privBefore, site.Public.Stats().Bytes-pubBefore)
+}
 
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

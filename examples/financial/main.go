@@ -3,12 +3,14 @@
 // under intelliagents, printing the Figure-2 downtime comparison.
 //
 // By default this runs 90-day years on the scaled site so it finishes in
-// seconds; pass -days 365 for the full year the paper reports.
+// seconds; pass -days 365 for the full year the paper reports, or -site
+// to run any registered topology (paper, webfarm, computefarm, ...).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	qoscluster "repro"
 	"repro/internal/metrics"
@@ -18,19 +20,31 @@ import (
 func main() {
 	days := flag.Int("days", 90, "length of each simulated year-slice")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	siteName := flag.String("site", "small", "registered site topology to run")
 	flag.Parse()
 	span := simclock.Time(*days) * simclock.Day
 
-	fmt.Printf("simulating %d days of the financial site, seed %d\n\n", *days, *seed)
+	topo, ok := qoscluster.TopologyByName(*siteName)
+	if !ok {
+		log.Fatalf("unknown site topology %q (registered: %v)", *siteName, qoscluster.TopologyNames())
+	}
+	fmt.Printf("simulating %d days of site %s, seed %d\n\n", *days, topo.Name, *seed)
 
-	before := qoscluster.BuildSite(qoscluster.SmallSite(*seed), qoscluster.Options{Mode: qoscluster.ModeManual})
-	before.Run(span)
-	rb := before.Report()
+	run := func(mode qoscluster.Mode) qoscluster.Report {
+		site, err := qoscluster.NewSite(topo,
+			qoscluster.WithSeed(*seed), qoscluster.WithMode(mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := site.Run(span); err != nil {
+			log.Fatal(err)
+		}
+		return site.Report()
+	}
+
+	rb := run(qoscluster.ModeManual)
 	fmt.Println(rb.Format())
-
-	after := qoscluster.BuildSite(qoscluster.SmallSite(*seed), qoscluster.Options{Mode: qoscluster.ModeAgents})
-	after.Run(span)
-	ra := after.Report()
+	ra := run(qoscluster.ModeAgents)
 	fmt.Println(ra.Format())
 
 	fmt.Println("category              before      after")

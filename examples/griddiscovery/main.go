@@ -9,26 +9,53 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	qoscluster "repro"
-	"repro/internal/faultinject"
 	"repro/internal/simclock"
 )
 
 func main() {
-	site := qoscluster.BuildSite(
-		qoscluster.SiteSpec{Name: "london-dc1", Geo: "UK", Seed: 9,
-			DatabaseHosts: 8, TransactionHosts: 2, FrontEndHosts: 2},
-		qoscluster.Options{Mode: qoscluster.ModeAgents, Faults: []faultinject.Spec{}},
+	topo := qoscluster.Topology{
+		Name: "london-dc1", Geo: "UK",
+		Tiers: []qoscluster.Tier{
+			{Name: "db", Role: "database", Hosts: 8, IPBlock: "10.2.0",
+				Hardware: []string{"E10K", "E4500", "E4500"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "oracle", Name: "ORA-%03d", Port: 1521, Cycle: 4, Phases: []int{0, 1, 2}, LSFTarget: true},
+					{Kind: "sybase", Name: "SYB-%03d", Port: 4100, Cycle: 4, Phases: []int{3}, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "tx", Role: "transaction", Hosts: 2, IPBlock: "10.3.0",
+				Hardware: []string{"E450", "HP-K"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
+				}},
+			{Name: "fe", Role: "frontend", Hosts: 2, IPBlock: "10.4.0",
+				Hardware: []string{"SP2"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1, DependsOn: "db"},
+				}},
+		},
+	}
+	site, err := qoscluster.NewSite(topo,
+		qoscluster.WithSeed(9),
+		qoscluster.WithMode(qoscluster.ModeAgents),
+		qoscluster.WithNoFaults(),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Let two DGSPL generations happen.
-	site.Run(35 * simclock.Minute)
+	if err := site.Run(35 * simclock.Minute); err != nil {
+		log.Fatal(err)
+	}
 
 	// A "grid broker" reads the per-type service list straight off the
 	// admin servers' NFS pool — the published, tool-readable artifact.
 	list, err := site.Admin.ReadPoolDGSPL("oracle")
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("grid information service: %d oracle endpoints published at t=%v\n\n",
 		len(list.Entries), list.GeneratedAt)

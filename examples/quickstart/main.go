@@ -1,29 +1,58 @@
-// Quickstart: build a five-database cluster, crash one Oracle instance,
-// and watch the local service intelliagent detect it within one cron
-// period, diagnose the root cause and restart the database — the paper's
-// core loop on the smallest possible stage.
+// Quickstart: declare a five-database cluster as a Topology, crash one
+// Oracle instance, and watch the local service intelliagent detect it
+// within one cron period, diagnose the root cause and restart the
+// database — the paper's core loop on the smallest possible stage.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	qoscluster "repro"
 	"repro/internal/agents"
-	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 )
 
 func main() {
-	// A small site with no background fault campaign: we inject the one
-	// fault ourselves so every line of output is ours.
-	site := qoscluster.BuildSite(
-		qoscluster.SiteSpec{Name: "demo-dc", Geo: "UK", Seed: 1,
-			DatabaseHosts: 5, TransactionHosts: 1, FrontEndHosts: 1},
-		qoscluster.Options{Mode: qoscluster.ModeAgents, Faults: []faultinject.Spec{}},
+	// A site is data: tiers of hosts with a hardware mix and service
+	// templates. This one is five Oracle boxes (each also an LSF batch
+	// target), one feed handler and one front end pinned to a database.
+	topo := qoscluster.Topology{
+		Name: "demo-dc", Geo: "UK",
+		Tiers: []qoscluster.Tier{
+			{Name: "db", Role: "database", Hosts: 5, IPBlock: "10.2.0",
+				Hardware: []string{"E4500"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "oracle", Name: "ORA-%03d", Port: 1521, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "tx", Role: "transaction", Hosts: 1, IPBlock: "10.3.0",
+				Hardware: []string{"E450"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
+				}},
+			{Name: "fe", Role: "frontend", Hosts: 1, IPBlock: "10.4.0",
+				Hardware: []string{"SP2"},
+				Services: []qoscluster.ServiceTemplate{
+					{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1, DependsOn: "db"},
+				}},
+		},
+	}
+	// No background fault campaign: we inject the one fault ourselves so
+	// every line of output is ours.
+	site, err := qoscluster.NewSite(topo,
+		qoscluster.WithSeed(1),
+		qoscluster.WithMode(qoscluster.ModeAgents),
+		qoscluster.WithNoFaults(),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Let the agents settle in for an hour.
-	site.Run(simclock.Hour)
+	if err := site.Run(simclock.Hour); err != nil {
+		log.Fatal(err)
+	}
 
 	victim := site.Dir.Get("ORA-001")
 	fmt.Printf("before: %s on %s is %v\n", victim.Spec.Name, victim.Host.Name, victim.State())
@@ -39,7 +68,9 @@ func main() {
 
 	// Advance 30 minutes: the cron-awakened service agent finds the
 	// refused probe, diagnoses the crash and restarts the database.
-	site.Run(site.Sim.Now() + 30*simclock.Minute)
+	if err := site.Run(site.Sim.Now() + 30*simclock.Minute); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("after:  %s is %v\n", victim.Spec.Name, victim.State())
 	inc := site.Ledger.Incidents()[0]

@@ -39,15 +39,19 @@ var CampaignNames = []string{
 }
 
 // CampaignMatrix translates a scenario name into the campaign axes it
-// sweeps. Ablation matrices obey cfg.AblationDays; the overhead-rig
-// scenarios (fig3/fig4/overhead/ablate-resident) ignore the span and
-// carry no Days coordinate.
+// sweeps. The site axis is cfg.Sites resolved through the topology
+// registry (JSON files are loaded and registered here, once, so every
+// trial can select its topology by name). Ablation matrices obey
+// cfg.AblationDays; the overhead-rig scenarios
+// (fig3/fig4/overhead/ablate-resident) ignore the span and the site —
+// they carry no Days or Sites coordinate, and a multi-site list is
+// rejected for them.
 func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error) {
 	m := campaign.Matrix{
 		Seeds: campaign.Seeds(cfg.Seed, trials),
-		Sites: []string{cfg.siteName()},
 		Days:  cfg.days(),
 	}
+	siteAxis := true
 	switch name {
 	case "", "fig2":
 		m.Scenarios = []string{"year"}
@@ -85,23 +89,45 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 	case "ablate-resident":
 		m.Scenarios = []string{"ablate-resident"}
 		m.Days = 0 // the 4-hour overhead rig ignores the span
+		siteAxis = false
 	case "fig3", "fig4", "overhead":
 		// "overhead" is one scenario reporting both the CPU and memory
 		// series: the rig produces both in a single run, so splitting it
 		// into fig3+fig4 cells would simulate everything twice.
 		m.Scenarios = []string{name}
 		m.Days = 0
+		siteAxis = false
 	default:
 		return campaign.Matrix{}, fmt.Errorf("unknown campaign %q (want one of %v)", name, CampaignNames)
+	}
+	if siteAxis {
+		sites, err := ResolveSites(cfg.siteArgs())
+		if err != nil {
+			return campaign.Matrix{}, err
+		}
+		m.Sites = sites
+	} else if err := validateRigSites(name, cfg.Sites); err != nil {
+		return campaign.Matrix{}, err
 	}
 	return m, nil
 }
 
-func (c Config) siteName() string {
-	if c.PaperSite {
-		return "paper"
+// validateRigSites vets -site arguments for the scenarios that build a
+// fixed one-host rig: sweeping sites would replicate identical numbers
+// under different labels, so a multi-site list is rejected, and a single
+// explicit site must still resolve — a typo'd name should not pass
+// silently just because the rig ignores it.
+func validateRigSites(name string, sites []string) error {
+	if len(sites) > 1 {
+		return fmt.Errorf("scenario %q runs a fixed one-host rig and ignores -site; drop the multi-site list %v",
+			name, sites)
 	}
-	return "small"
+	if len(sites) == 1 {
+		if _, err := ResolveSites(sites); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c Config) days() int {
@@ -178,9 +204,11 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 
 // RunTrial executes one campaign trial. It is the campaign.RunFunc for
 // this package's scenarios and is safe for concurrent use: all state lives
-// in the site built here.
+// in the site built here. The trial's Site coordinate names a registered
+// topology (CampaignMatrix registers JSON-file sites before any trial
+// runs).
 func RunTrial(t campaign.Trial) (map[string]float64, error) {
-	cfg := Config{Seed: t.Seed, Days: t.Days, PaperSite: t.Site == "paper"}
+	cfg := Config{Seed: t.Seed, Days: t.Days}
 	switch t.Scenario {
 	case "year", "latency", "mttr", "ablate-cron", "ablate-rescue", "ablate-net":
 		opts, err := trialOptions(t)
@@ -188,8 +216,13 @@ func RunTrial(t campaign.Trial) (map[string]float64, error) {
 			return nil, err
 		}
 		span := cfg.span()
-		site := qoscluster.BuildSite(cfg.site(), opts)
-		site.Run(span)
+		site, err := buildNamedSite(t.Site, t.Seed, qoscluster.WithOptions(opts))
+		if err != nil {
+			return nil, err
+		}
+		if err := site.Run(span); err != nil {
+			return nil, err
+		}
 		switch t.Scenario {
 		case "year":
 			return yearMetrics(site.Report(), span), nil

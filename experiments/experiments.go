@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	qoscluster "repro"
@@ -16,9 +17,15 @@ import (
 
 // Config parameterises a run.
 type Config struct {
-	Seed      uint64
-	Days      int
-	PaperSite bool // full 215-host site instead of the scaled one
+	Seed uint64
+	Days int
+	// Sites names the site topologies to run or sweep: registered
+	// topology names (paper, small, webfarm, computefarm, or anything
+	// qoscluster.RegisterTopology added) and/or paths to topology JSON
+	// files. Empty means {"small"}. Campaigns sweep the whole list as a
+	// matrix axis; the single-seed narrative scenarios run each site in
+	// turn.
+	Sites []string
 	// Trials is the seeds-per-cell count for the scenarios Run executes
 	// as multi-seed campaigns (latency, mttr, ablate-*); 0 means the
 	// campaign default of 8.
@@ -30,11 +37,64 @@ type Config struct {
 	CronPeriods []simclock.Time
 }
 
-func (c Config) site() qoscluster.SiteSpec {
-	if c.PaperSite {
-		return qoscluster.PaperSite(c.Seed)
+func (c Config) siteArgs() []string {
+	if len(c.Sites) == 0 {
+		return []string{"small"}
 	}
-	return qoscluster.SmallSite(c.Seed)
+	return c.Sites
+}
+
+// ResolveSites canonicalises site arguments into registered topology
+// names: a name that is already registered passes through; anything else
+// is treated as a topology JSON file, which is loaded, validated and
+// registered under its declared name, so campaign trials can look it up
+// wherever they run. A file whose declared name collides with a
+// different already-registered topology is rejected (re-loading an
+// identical declaration is fine), as is the same resolved name appearing
+// twice — either would silently fold two distinct site axes into one.
+func ResolveSites(args []string) ([]string, error) {
+	out := make([]string, 0, len(args))
+	used := map[string]string{} // resolved name -> the arg that claimed it
+	for _, arg := range args {
+		name := arg
+		if _, ok := qoscluster.TopologyByName(arg); !ok {
+			topo, err := qoscluster.LoadTopologyFile(arg)
+			if err != nil {
+				return nil, fmt.Errorf("site %q: not a registered topology (%s) and not loadable as a topology file: %w",
+					arg, strings.Join(qoscluster.TopologyNames(), ", "), err)
+			}
+			if existing, ok := qoscluster.TopologyByName(topo.Name); ok && !reflect.DeepEqual(existing, topo) {
+				return nil, fmt.Errorf("site %q: declares name %q, which is already registered as a different topology",
+					arg, topo.Name)
+			}
+			if err := qoscluster.RegisterTopology(topo); err != nil {
+				return nil, fmt.Errorf("site %q: %w", arg, err)
+			}
+			name = topo.Name
+		}
+		if prev, dup := used[name]; dup {
+			return nil, fmt.Errorf("site %q resolves to %q, already named by %q", arg, name, prev)
+		}
+		used[name] = arg
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// buildNamedSite assembles one registered site topology with the given
+// options layered on. The seed parameter is authoritative: it is applied
+// after the caller's options, so a WithOptions bundle cannot silently
+// zero it.
+func buildNamedSite(name string, seed uint64, opts ...qoscluster.Option) (*qoscluster.Site, error) {
+	if name == "" {
+		name = "small"
+	}
+	topo, ok := qoscluster.TopologyByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown site topology %q (registered: %s)",
+			name, strings.Join(qoscluster.TopologyNames(), ", "))
+	}
+	return qoscluster.NewSite(topo, append(append([]qoscluster.Option{}, opts...), qoscluster.WithSeed(seed))...)
 }
 
 func (c Config) span() simclock.Time {
@@ -76,18 +136,30 @@ func (c Config) AblationDays() int {
 func Run(name string, cfg Config) (string, error) {
 	switch name {
 	case "before":
-		return YearBefore(cfg), nil
+		return YearBefore(cfg)
 	case "after":
-		return YearAfter(cfg), nil
+		return YearAfter(cfg)
 	case "fig2":
-		return Fig2(cfg), nil
+		return Fig2(cfg)
 	case "fig3":
-		return Fig3(cfg), nil
+		return Fig3(cfg)
 	case "fig4":
-		return Fig4(cfg), nil
+		return Fig4(cfg)
 	case "latency", "mttr", "ablate-cron", "ablate-rescue", "ablate-net", "ablate-resident":
 		return campaignText(name, cfg)
 	case "ablate":
+		// Validate every sweep's matrix up front: a flag error knowable
+		// now (e.g. a multi-site list, rejected by ablate-resident) must
+		// not surface only after the earlier sweeps burned their compute.
+		trials := cfg.Trials
+		if trials <= 0 {
+			trials = 8
+		}
+		for _, n := range AblateScenarios {
+			if _, err := CampaignMatrix(n, cfg, trials); err != nil {
+				return "", err
+			}
+		}
 		var b strings.Builder
 		for i, n := range AblateScenarios {
 			out, err := campaignText(n, cfg)
@@ -148,49 +220,101 @@ var PaperFig2After = map[metrics.Category]float64{
 	metrics.CatCompletelyDown: 2,
 }
 
+// yearReports runs one operations mode over every configured site and
+// concatenates the reports (with a site header when more than one site is
+// configured).
+func yearReports(cfg Config, mode qoscluster.Mode) (string, error) {
+	sites, err := ResolveSites(cfg.siteArgs())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, name := range sites {
+		site, err := buildNamedSite(name, cfg.Seed, qoscluster.WithMode(mode))
+		if err != nil {
+			return b.String(), err
+		}
+		if err := site.Run(cfg.span()); err != nil {
+			return b.String(), fmt.Errorf("site %s: %w", name, err)
+		}
+		if len(sites) > 1 {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "--- site %s ---\n", name)
+		}
+		b.WriteString(site.Report().Format())
+	}
+	return b.String(), nil
+}
+
 // YearBefore runs the manual-operations year and prints its report.
-func YearBefore(cfg Config) string {
-	site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeManual})
-	site.Run(cfg.span())
-	return site.Report().Format()
+func YearBefore(cfg Config) (string, error) {
+	return yearReports(cfg, qoscluster.ModeManual)
 }
 
 // YearAfter runs the intelliagent year and prints its report.
-func YearAfter(cfg Config) string {
-	site := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeAgents})
-	site.Run(cfg.span())
-	return site.Report().Format()
+func YearAfter(cfg Config) (string, error) {
+	return yearReports(cfg, qoscluster.ModeAgents)
 }
 
 // Fig2 runs both years on the same fault campaign and prints the
-// reproduction of Figure 2 with the paper's numbers alongside.
-func Fig2(cfg Config) string {
-	before := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeManual})
-	before.Run(cfg.span())
+// reproduction of Figure 2 with the paper's numbers alongside, once per
+// configured site.
+func Fig2(cfg Config) (string, error) {
+	sites, err := ResolveSites(cfg.siteArgs())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, name := range sites {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if err := fig2Site(&b, cfg, name); err != nil {
+			return b.String(), err
+		}
+	}
+	return b.String(), nil
+}
+
+func fig2Site(b *strings.Builder, cfg Config, siteName string) error {
+	before, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeManual))
+	if err != nil {
+		return err
+	}
+	if err := before.Run(cfg.span()); err != nil {
+		return fmt.Errorf("site %s: %w", siteName, err)
+	}
 	rb := before.Report()
 
-	after := qoscluster.BuildSite(cfg.site(), qoscluster.Options{Mode: qoscluster.ModeAgents})
-	after.Run(cfg.span())
+	after, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeAgents))
+	if err != nil {
+		return err
+	}
+	if err := after.Run(cfg.span()); err != nil {
+		return fmt.Errorf("site %s: %w", siteName, err)
+	}
 	ra := after.Report()
 
 	scale := float64(cfg.span()) / float64(simclock.Year)
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 2 — downtime hours by error category (%.0f days, seed %d)\n", cfg.span().Hours()/24, cfg.Seed)
-	fmt.Fprintf(&b, "%-16s %12s %12s %12s %12s\n", "category", "before", "paper-before", "after", "paper-after")
+	fmt.Fprintf(b, "Figure 2 — downtime hours by error category (site %s, %.0f days, seed %d)\n",
+		siteName, cfg.span().Hours()/24, cfg.Seed)
+	fmt.Fprintf(b, "%-16s %12s %12s %12s %12s\n", "category", "before", "paper-before", "after", "paper-after")
 	var tb, ta float64
 	for _, cat := range metrics.Categories {
 		hb := rb.DowntimeHours(cat)
 		ha := ra.DowntimeHours(cat)
 		tb += hb
 		ta += ha
-		fmt.Fprintf(&b, "%-16s %12.1f %12.1f %12.1f %12.1f\n",
+		fmt.Fprintf(b, "%-16s %12.1f %12.1f %12.1f %12.1f\n",
 			cat, hb, PaperFig2Before[cat]*scale, ha, PaperFig2After[cat]*scale)
 	}
-	fmt.Fprintf(&b, "%-16s %12.1f %12.1f %12.1f %12.1f\n", "TOTAL", tb, 550*scale, ta, 39*scale)
+	fmt.Fprintf(b, "%-16s %12.1f %12.1f %12.1f %12.1f\n", "TOTAL", tb, 550*scale, ta, 39*scale)
 	if ta > 0 {
-		fmt.Fprintf(&b, "improvement factor: %.1fx (paper: %.1fx)\n", tb/ta, 550.0/39)
+		fmt.Fprintf(b, "improvement factor: %.1fx (paper: %.1fx)\n", tb/ta, 550.0/39)
 	}
-	fmt.Fprintf(&b, "\nbatch: before done=%d failed=%d | after done=%d failed=%d resubmitted=%d\n",
+	fmt.Fprintf(b, "\nbatch: before done=%d failed=%d | after done=%d failed=%d resubmitted=%d\n",
 		rb.JobsDone, rb.JobsFailed, ra.JobsDone, ra.JobsFailed, ra.Resubmitted)
-	return b.String()
+	return nil
 }

@@ -136,8 +136,13 @@ func paperSeries(name string, vals []float64) *metrics.Series {
 	return s
 }
 
-// Fig3 reproduces the CPU overhead comparison.
-func Fig3(cfg Config) string {
+// Fig3 reproduces the CPU overhead comparison. The rig is one fixed
+// host, so cfg.Sites must not name more than one site (and a single
+// explicit site must resolve).
+func Fig3(cfg Config) (string, error) {
+	if err := validateRigSites("fig3", cfg.Sites); err != nil {
+		return "", err
+	}
 	bmcCPU, agCPU, _, _ := sampleOverhead(cfg.Seed)
 	var b strings.Builder
 	b.WriteString("Figure 3 — monitor CPU utilisation % of system, half-hourly at peak\n")
@@ -145,11 +150,15 @@ func Fig3(cfg Config) string {
 	b.WriteString(metrics.FormatTable("paper", "%", paperSeries("bmc-cpu%", PaperFig3BMC), paperSeries("agent-cpu%", PaperFig3Agent)))
 	fmt.Fprintf(&b, "overhead ratio bmc/agent: measured %.0fx, paper %.0fx\n",
 		bmcCPU.Mean()/agCPU.Mean(), mean(PaperFig3BMC)/mean(PaperFig3Agent))
-	return b.String()
+	return b.String(), nil
 }
 
-// Fig4 reproduces the memory overhead comparison.
-func Fig4(cfg Config) string {
+// Fig4 reproduces the memory overhead comparison (same fixed rig and
+// site rule as Fig3).
+func Fig4(cfg Config) (string, error) {
+	if err := validateRigSites("fig4", cfg.Sites); err != nil {
+		return "", err
+	}
 	_, _, bmcMem, agMem := sampleOverhead(cfg.Seed)
 	var b strings.Builder
 	b.WriteString("Figure 4 — monitor resident memory (MB), half-hourly at peak\n")
@@ -157,7 +166,7 @@ func Fig4(cfg Config) string {
 	b.WriteString(metrics.FormatTable("paper", "MB", paperSeries("bmc-MB", PaperFig4BMC), paperSeries("agent-MB", PaperFig4Agent)))
 	fmt.Fprintf(&b, "overhead ratio bmc/agent: measured %.0fx, paper %.0fx\n",
 		bmcMem.Mean()/agMem.Mean(), mean(PaperFig4BMC)/mean(PaperFig4Agent))
-	return b.String()
+	return b.String(), nil
 }
 
 func mean(xs []float64) float64 {

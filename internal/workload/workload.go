@@ -93,6 +93,11 @@ func New(sim *simclock.Sim, cfg Config, dc *cluster.Datacentre, dir *svc.Directo
 	}
 }
 
+// Config returns the load shape the generator offers — after any
+// site-size scaling the caller applied, so tests can pin override
+// semantics.
+func (g *Generator) Config() Config { return g.cfg }
+
 // Start begins offering load: interactive ambience refreshed every 15
 // minutes, day batch submissions hourly-ish, the overnight drop at 22:00,
 // and constant feed load.

@@ -1,0 +1,119 @@
+package qoscluster
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/operators"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// Mode selects how the site is operated.
+type Mode int
+
+// Operation modes.
+const (
+	// ModeManual is the paper's "before" year: commercial monitoring,
+	// operator consoles, on-call administrators, manual repair.
+	ModeManual Mode = iota
+	// ModeAgents is the paper's "after" year: intelliagents on every
+	// host, administration-server pair, DGSPL-driven batch rescue.
+	ModeAgents
+)
+
+func (m Mode) String() string {
+	if m == ModeAgents {
+		return "agents"
+	}
+	return "manual"
+}
+
+// AgentSet selects which intelliagents deploy per host in ModeAgents.
+type AgentSet int
+
+// Agent deployments.
+const (
+	// AgentsLean deploys the agents the Figure-2 categories need: service
+	// agents, status, performance, network.
+	AgentsLean AgentSet = iota
+	// AgentsFull adds the cpu/memory/disk resource agents and the
+	// hardware agent — the paper's complete taxonomy.
+	AgentsFull
+)
+
+// Options tune a scenario. The zero value is a usable default (manual
+// mode, lean agents, the paper's cron period, paper-calibrated faults);
+// NewSite layers functional options (WithMode, WithCronPeriod, ...) over
+// it, and campaign trials map their axes onto it directly.
+type Options struct {
+	// Seed drives every random process in the simulation.
+	Seed     uint64
+	Mode     Mode
+	AgentSet AgentSet
+	// CronPeriod is X, the agents' wake-up period (default: the paper's 5
+	// minutes).
+	CronPeriod simclock.Time
+	// Faults overrides the default fault campaign (nil = paper-calibrated
+	// rates; empty non-nil slice = no faults).
+	Faults []faultinject.Spec
+	// Workload overrides the offered load. A non-nil config is taken
+	// verbatim: the site-size scaling and the OvernightJobs >= 2 floor
+	// that shape the default config are both skipped, so the caller's
+	// numbers are exactly what the generator offers. nil = DefaultConfig
+	// scaled to the site's LSF-target pool.
+	Workload *workload.Config
+	// BaselineMonitors installs BMC-style monitors on every database host
+	// (always installed in ModeManual on database hosts regardless).
+	BaselineMonitors bool
+	// DisablePrivateNet removes the private agent network (ablation).
+	DisablePrivateNet bool
+	// NoBatchRescue stops the admin tier resubmitting failed jobs from the
+	// DGSPL (ablation of the paper's §4 mechanism).
+	NoBatchRescue bool
+	// OperatorTiming overrides the manual-operations constants (ablation).
+	OperatorTiming *operators.Timing
+}
+
+// Option is a functional scenario option for NewSite.
+type Option func(*Options)
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithMode selects manual or agent operations.
+func WithMode(m Mode) Option { return func(o *Options) { o.Mode = m } }
+
+// WithAgentSet selects the per-host agent deployment in ModeAgents.
+func WithAgentSet(set AgentSet) Option { return func(o *Options) { o.AgentSet = set } }
+
+// WithCronPeriod sets X, the agents' wake-up period.
+func WithCronPeriod(p simclock.Time) Option { return func(o *Options) { o.CronPeriod = p } }
+
+// WithFaults replaces the default fault campaign. An empty non-nil slice
+// disables faults entirely; WithNoFaults spells that out.
+func WithFaults(specs []faultinject.Spec) Option { return func(o *Options) { o.Faults = specs } }
+
+// WithNoFaults disables the background fault campaign — the
+// walkthrough-example setting where every fault is injected by hand.
+func WithNoFaults() Option { return func(o *Options) { o.Faults = []faultinject.Spec{} } }
+
+// WithWorkload overrides the offered load verbatim (see Options.Workload:
+// no site-size scaling, no OvernightJobs floor).
+func WithWorkload(cfg workload.Config) Option { return func(o *Options) { o.Workload = &cfg } }
+
+// WithBaselineMonitors installs BMC-style monitors on database hosts even
+// in ModeAgents (the Figure-3/4 side-by-side rig).
+func WithBaselineMonitors() Option { return func(o *Options) { o.BaselineMonitors = true } }
+
+// WithoutPrivateNet removes the private agent network (ablation).
+func WithoutPrivateNet() Option { return func(o *Options) { o.DisablePrivateNet = true } }
+
+// WithoutBatchRescue disables DGSPL-driven job resubmission (ablation).
+func WithoutBatchRescue() Option { return func(o *Options) { o.NoBatchRescue = true } }
+
+// WithOperatorTiming overrides the manual-operations timing constants.
+func WithOperatorTiming(t operators.Timing) Option { return func(o *Options) { o.OperatorTiming = &t } }
+
+// WithOptions replaces the whole Options struct — the bridge for callers
+// (like campaign trials) that assemble an Options value directly and
+// still want the NewSite validation path.
+func WithOptions(o Options) Option { return func(dst *Options) { *dst = o } }

@@ -6,55 +6,27 @@
 // plus human operators) or under the paper's contribution (intelliagents
 // coordinated by an administration-server pair).
 //
-// The typical flow:
+// Sites are declared as data: a Topology lists tiers of hosts with their
+// hardware mix and service templates, and NewSite layers functional
+// options over it. The typical flow:
 //
-//	site := qoscluster.BuildSite(qoscluster.SmallSite(1), qoscluster.Options{Mode: qoscluster.ModeAgents})
-//	site.Run(30 * simclock.Day)
+//	site, err := qoscluster.NewSite(qoscluster.SmallTopology(),
+//		qoscluster.WithSeed(1), qoscluster.WithMode(qoscluster.ModeAgents))
+//	if err != nil { ... }
+//	if err := site.Run(30 * simclock.Day); err != nil { ... }
 //	fmt.Println(site.Report().Format())
+//
+// PaperTopology, SmallTopology, WebFarmTopology and ComputeFarmTopology
+// are registered under the names "paper", "small", "webfarm" and
+// "computefarm"; RegisterTopology and LoadTopology add custom sites (in
+// Go or from JSON) that scenarios and campaigns then select by name.
 package qoscluster
 
-import (
-	"fmt"
-
-	"repro/internal/adminsrv"
-	"repro/internal/agent"
-	"repro/internal/agents"
-	"repro/internal/baseline"
-	"repro/internal/cluster"
-	"repro/internal/faultinject"
-	"repro/internal/fsim"
-	"repro/internal/lsf"
-	"repro/internal/metrics"
-	"repro/internal/netsim"
-	"repro/internal/notify"
-	"repro/internal/ontology"
-	"repro/internal/operators"
-	"repro/internal/simclock"
-	"repro/internal/svc"
-	"repro/internal/workload"
-)
-
-// Mode selects how the site is operated.
-type Mode int
-
-// Operation modes.
-const (
-	// ModeManual is the paper's "before" year: commercial monitoring,
-	// operator consoles, on-call administrators, manual repair.
-	ModeManual Mode = iota
-	// ModeAgents is the paper's "after" year: intelliagents on every
-	// host, administration-server pair, DGSPL-driven batch rescue.
-	ModeAgents
-)
-
-func (m Mode) String() string {
-	if m == ModeAgents {
-		return "agents"
-	}
-	return "manual"
-}
-
-// SiteSpec sizes the datacentre.
+// SiteSpec sizes a paper-shaped datacentre.
+//
+// Deprecated: SiteSpec predates the declarative Topology API and only
+// describes the paper's fixed three-tier shape. Declare a Topology (or
+// start from PaperTopology/SmallTopology) and use NewSite instead.
 type SiteSpec struct {
 	Name string
 	Geo  string
@@ -66,404 +38,41 @@ type SiteSpec struct {
 	FrontEndHosts    int
 }
 
-// PaperSite returns the full-size evaluation site (use for structure
-// demonstrations; year-long simulations want SmallSite, whose downtime
-// ledger is equivalent because fault arrival rates are site-wide).
+// PaperSite returns the full-size evaluation site spec.
+//
+// Deprecated: use PaperTopology with NewSite and WithSeed.
 func PaperSite(seed uint64) SiteSpec {
 	return SiteSpec{Name: "london-dc1", Geo: "UK", Seed: seed,
 		DatabaseHosts: 100, TransactionHosts: 55, FrontEndHosts: 60}
 }
 
-// SmallSite returns a scaled site for long simulations: the fault campaign
-// is defined per site, not per host, so category downtime totals are
-// unaffected by the scale-down while event counts drop by an order of
-// magnitude.
+// SmallSite returns a scaled site spec for long simulations.
+//
+// Deprecated: use SmallTopology with NewSite and WithSeed.
 func SmallSite(seed uint64) SiteSpec {
 	return SiteSpec{Name: "london-dc1", Geo: "UK", Seed: seed,
 		DatabaseHosts: 6, TransactionHosts: 2, FrontEndHosts: 3}
 }
 
-// AgentSet selects which intelliagents deploy per host in ModeAgents.
-type AgentSet int
-
-// Agent deployments.
-const (
-	// AgentsLean deploys the agents the Figure-2 categories need: service
-	// agents, status, performance, network.
-	AgentsLean AgentSet = iota
-	// AgentsFull adds the cpu/memory/disk resource agents and the
-	// hardware agent — the paper's complete taxonomy.
-	AgentsFull
-)
-
-// Options tune a scenario.
-type Options struct {
-	Mode     Mode
-	AgentSet AgentSet
-	// CronPeriod is X, the agents' wake-up period (default: the paper's 5
-	// minutes).
-	CronPeriod simclock.Time
-	// Faults overrides the default fault campaign (nil = paper-calibrated
-	// rates; empty non-nil slice = no faults).
-	Faults []faultinject.Spec
-	// Workload overrides the offered load (nil = DefaultConfig scaled).
-	Workload *workload.Config
-	// BaselineMonitors installs BMC-style monitors on every database host
-	// (always installed in ModeManual on database hosts regardless).
-	BaselineMonitors bool
-	// DisablePrivateNet removes the private agent network (ablation).
-	DisablePrivateNet bool
-	// NoBatchRescue stops the admin tier resubmitting failed jobs from the
-	// DGSPL (ablation of the paper's §4 mechanism).
-	NoBatchRescue bool
-	// OperatorTiming overrides the manual-operations constants (ablation).
-	OperatorTiming *operators.Timing
+// TopologyFromSpec converts a legacy SiteSpec into the equivalent
+// paper-shaped Topology: an Oracle/Sybase+LSF database tier, a feed
+// transaction tier and a database-pinned front-end tier at the spec's
+// counts, with the paper's hardware spread. Zero-count tiers are omitted.
+func TopologyFromSpec(spec SiteSpec) Topology {
+	return paperShaped(spec.Name, spec.Geo, spec.DatabaseHosts, spec.TransactionHosts, spec.FrontEndHosts)
 }
 
-// Site is an assembled, running scenario.
-type Site struct {
-	Spec SiteSpec
-	Opts Options
-
-	Sim      *simclock.Sim
-	DC       *cluster.Datacentre
-	Dir      *svc.Directory
-	LSF      *lsf.Cluster
-	Private  *netsim.Network
-	Public   *netsim.Network
-	Bus      *notify.Bus
-	Ledger   *metrics.Ledger
-	Registry *faultinject.Registry
-	Campaign *faultinject.Campaign
-	Team     *operators.Team
-	Gen      *workload.Generator
-	Admin    *adminsrv.Pair // nil in ModeManual
-	Monitors []*baseline.Monitor
-	Agents   []*agent.Agent
-
-	dbServices []string // LSF targets
-	started    bool
-}
-
-// BuildSite assembles a site; call Run to execute it.
+// BuildSite assembles a site from a legacy SiteSpec; call Run to execute
+// it. The spec's Seed overrides opts.Seed.
+//
+// Deprecated: BuildSite keeps one release of compatibility for the
+// pre-topology constructor and panics on invalid input where NewSite
+// returns an error. New code should declare a Topology and call NewSite.
 func BuildSite(spec SiteSpec, opts Options) *Site {
-	if opts.CronPeriod <= 0 {
-		opts.CronPeriod = 5 * simclock.Minute
+	opts.Seed = spec.Seed
+	s, err := newSite(TopologyFromSpec(spec), opts)
+	if err != nil {
+		panic(err)
 	}
-	s := &Site{
-		Spec: spec,
-		Opts: opts,
-		Sim:  simclock.New(spec.Seed),
-		DC:   cluster.NewDatacentre(),
-		Dir:  svc.NewDirectory(),
-	}
-	s.Bus = notify.NewBus(s.Sim)
-	s.Ledger = metrics.NewLedger()
-	s.Registry = faultinject.NewRegistry(s.Ledger)
-	s.Team = operators.NewTeam(s.Sim.Rand().Fork(0x09e7))
-	if opts.OperatorTiming != nil {
-		s.Team.SetTiming(*opts.OperatorTiming)
-	}
-	s.buildNetworks()
-	s.buildHosts()
-	s.buildServices()
-	s.buildLSF()
-	s.wireRepairPipeline()
 	return s
-}
-
-func (s *Site) buildNetworks() {
-	s.Public = netsim.New(s.Sim, "public", 2*simclock.Time(1e6), 0.2) // 2ms LAN
-	if !s.Opts.DisablePrivateNet {
-		s.Private = netsim.New(s.Sim, "private", 1*simclock.Time(1e6), 0.1)
-	}
-}
-
-func (s *Site) attach(h *cluster.Host) {
-	s.Public.Attach(h.Name, nil)
-	if s.Private != nil {
-		s.Private.Attach(h.Name, nil)
-	}
-}
-
-// dbModelFor spreads the paper's database hardware mix: E10Ks and E4500s.
-func dbModelFor(i int) cluster.HardwareModel {
-	if i%3 == 0 {
-		return cluster.ModelE10K
-	}
-	return cluster.ModelE4500
-}
-
-// txModelFor spreads the transaction tier's mix: E10K, Ultra10, linux,
-// E450, E220R, HP K and T series.
-func txModelFor(i int) cluster.HardwareModel {
-	mix := []cluster.HardwareModel{
-		cluster.ModelE450, cluster.ModelHPK, cluster.ModelE220R,
-		cluster.ModelHPT, cluster.ModelLinux, cluster.ModelUltra10,
-	}
-	return mix[i%len(mix)]
-}
-
-func (s *Site) buildHosts() {
-	for i := 0; i < s.Spec.DatabaseHosts; i++ {
-		h := cluster.NewHost(s.Sim, fmt.Sprintf("db%03d", i+1), fmt.Sprintf("10.2.0.%d", i+1),
-			dbModelFor(i), cluster.RoleDatabase, s.Spec.Name, s.Spec.Geo)
-		s.DC.Add(h)
-		s.attach(h)
-	}
-	for i := 0; i < s.Spec.TransactionHosts; i++ {
-		h := cluster.NewHost(s.Sim, fmt.Sprintf("tx%03d", i+1), fmt.Sprintf("10.3.0.%d", i+1),
-			txModelFor(i), cluster.RoleTransaction, s.Spec.Name, s.Spec.Geo)
-		s.DC.Add(h)
-		s.attach(h)
-	}
-	for i := 0; i < s.Spec.FrontEndHosts; i++ {
-		h := cluster.NewHost(s.Sim, fmt.Sprintf("fe%03d", i+1), fmt.Sprintf("10.4.0.%d", i+1),
-			cluster.ModelSP2, cluster.RoleFrontEnd, s.Spec.Name, s.Spec.Geo)
-		s.DC.Add(h)
-		s.attach(h)
-	}
-}
-
-func (s *Site) buildServices() {
-	// Databases: Oracle/Sybase mix plus LSF daemons on every DB host.
-	for i, h := range s.DC.ByRole(cluster.RoleDatabase) {
-		var spec svc.Spec
-		if i%4 == 3 {
-			spec = svc.SybaseSpec(fmt.Sprintf("SYB-%03d", i+1), 4100)
-		} else {
-			spec = svc.OracleSpec(fmt.Sprintf("ORA-%03d", i+1), 1521)
-		}
-		db := mustService(s.Sim, spec, h)
-		s.Dir.Add(db)
-		s.dbServices = append(s.dbServices, db.Spec.Name)
-		lsfd := mustService(s.Sim, svc.LSFSpec("LSF-"+h.Name), h)
-		s.Dir.Add(lsfd)
-	}
-	// Transaction hosts carry market-data feed handlers.
-	for i, h := range s.DC.ByRole(cluster.RoleTransaction) {
-		s.Dir.Add(mustService(s.Sim, svc.FeedSpec(fmt.Sprintf("FEED-%03d", i+1), 7000+i), h))
-	}
-	// Front ends depend on a database.
-	dbs := s.dbServices
-	for i, h := range s.DC.ByRole(cluster.RoleFrontEnd) {
-		dep := dbs[i%len(dbs)]
-		s.Dir.Add(mustService(s.Sim, svc.FrontEndSpec(fmt.Sprintf("FE-%03d", i+1), 8000+i, dep), h))
-	}
-	// Everything starts; startup completes within the first minutes.
-	for _, sv := range mustOrder(s.Dir) {
-		_ = sv.Start(nil)
-	}
-	s.Sim.RunUntil(10 * simclock.Minute)
-}
-
-func mustService(sim *simclock.Sim, spec svc.Spec, h *cluster.Host) *svc.Service {
-	sv, err := svc.New(sim, spec, h)
-	if err != nil {
-		panic(err) // specs are ours; failure is a programming error
-	}
-	return sv
-}
-
-func mustOrder(dir *svc.Directory) []*svc.Service {
-	order, err := dir.StartOrder()
-	if err != nil {
-		panic(err)
-	}
-	return order
-}
-
-func (s *Site) buildLSF() {
-	s.LSF = lsf.NewCluster(s.Sim, s.Dir)
-	for _, name := range s.dbServices {
-		sv := s.Dir.Get(name)
-		// The site configured "a finite number of scheduled jobs per
-		// database server": scale slots with machine size.
-		s.LSF.SetSlotLimit(name, sv.Host.Model.CPUs/2+2)
-	}
-	cfg := workload.DefaultConfig()
-	// Scale offered load to the site size.
-	scale := float64(s.Spec.DatabaseHosts) / 100
-	cfg.PeakAnalysts = int(float64(cfg.PeakAnalysts) * scale)
-	cfg.DayJobsPerHour *= scale
-	cfg.OvernightJobs = int(float64(cfg.OvernightJobs) * scale)
-	if cfg.OvernightJobs < 2 {
-		cfg.OvernightJobs = 2
-	}
-	if s.Opts.Workload != nil {
-		cfg = *s.Opts.Workload
-	}
-	s.Gen = workload.New(s.Sim, cfg, s.DC, s.Dir, s.LSF, s.dbServices)
-}
-
-// Run starts the scenario machinery (on first call) and advances the
-// simulation until the given absolute time.
-func (s *Site) Run(until simclock.Time) {
-	if !s.started {
-		s.started = true
-		s.Gen.Start()
-		switch s.Opts.Mode {
-		case ModeManual:
-			s.deployManual()
-		case ModeAgents:
-			s.deployAgents()
-		}
-		s.Campaign = faultinject.NewCampaign(s.Sim, s.inject)
-		s.Campaign.Start(s.faultSpecs())
-	}
-	s.Sim.RunUntil(until)
-}
-
-// deployManual installs the before-year operations: BMC-style monitors on
-// database hosts feeding operator consoles.
-func (s *Site) deployManual() {
-	for _, h := range s.DC.ByRole(cluster.RoleDatabase) {
-		s.Monitors = append(s.Monitors, baseline.Install(
-			s.Sim, h, baseline.DefaultFootprint(), s.Bus, "noc-console",
-			5*simclock.Minute, s.Dir))
-	}
-}
-
-// deployAgents installs the after-year operations: intelliagents on every
-// host, administration pair, shared pool, DGSPL loop and batch rescue.
-func (s *Site) deployAgents() {
-	// Administration hosts and shared NFS pool.
-	admin1 := cluster.NewHost(s.Sim, "admin1", "10.1.0.1", cluster.ModelE450, cluster.RoleAdmin, s.Spec.Name, s.Spec.Geo)
-	admin2 := cluster.NewHost(s.Sim, "admin2", "10.1.0.2", cluster.ModelE450, cluster.RoleAdmin, s.Spec.Name, s.Spec.Geo)
-	s.DC.Add(admin1)
-	s.DC.Add(admin2)
-	s.attach(admin1)
-	s.attach(admin2)
-	issl := s.buildISSL()
-	adminLSF := s.LSF
-	if s.Opts.NoBatchRescue {
-		adminLSF = nil
-	}
-	pair, err := adminsrv.New(adminsrv.Config{
-		Sim: s.Sim, Primary: admin1, Standby: admin2, Pool: fsim.NewVolume(),
-		Networks: s.networks(), Dir: s.Dir, LSF: adminLSF,
-		Registry: s.Registry, Notify: s.Bus, ISSL: issl,
-		OncallEmail: "oncall@" + s.Spec.Name, AgentPeriod: s.Opts.CronPeriod,
-	})
-	if err != nil {
-		panic(err)
-	}
-	s.Admin = pair
-
-	if s.Opts.BaselineMonitors {
-		s.deployManual()
-	}
-
-	bridge := &agents.RegistryBridge{Reg: s.Registry}
-	rng := s.Sim.Rand().Fork(0xa9e0)
-	for _, h := range s.DC.Hosts() {
-		if h.Role == cluster.RoleAdmin {
-			continue
-		}
-		s.deployHostAgents(h, bridge, pair, rng)
-	}
-}
-
-func (s *Site) networks() []*netsim.Network {
-	if s.Private != nil {
-		return []*netsim.Network{s.Private, s.Public}
-	}
-	return []*netsim.Network{s.Public}
-}
-
-// deployHostAgents installs the selected agent set on one host, phased
-// randomly within the cron period so the site's agents don't all wake at
-// the same instant.
-func (s *Site) deployHostAgents(h *cluster.Host, bridge *agents.RegistryBridge,
-	pair *adminsrv.Pair, rng *simclock.Rand) {
-	router := netsim.NewRouter(s.networks()...)
-	baseCfg := func() agent.Config {
-		return agent.Config{
-			Host:       h,
-			Services:   s.Dir,
-			Notify:     s.Bus,
-			AdminEmail: "oncall@" + s.Spec.Name,
-			Detected:   bridge.Detected(h.Name),
-			Repaired:   bridge.Repaired(h.Name),
-			Report: func(kind, payload string) {
-				_, _ = router.Send(netsim.Message{From: h.Name, To: adminsrv.VIP, Kind: kind, Payload: payload})
-			},
-		}
-	}
-	add := func(a *agent.Agent, err error) {
-		if err != nil {
-			panic(err)
-		}
-		s.Agents = append(s.Agents, a)
-		a.Schedule(s.Sim, rng.UniformDuration(0, s.Opts.CronPeriod), s.Opts.CronPeriod)
-		pair.Watch(h, a.Name())
-	}
-	for _, sv := range s.Dir.OnHost(h.Name) {
-		add(agents.NewServiceAgent(baseCfg(), sv))
-	}
-	add(agents.NewStatusAgent(baseCfg()))
-	add(agents.NewPerformanceAgent(baseCfg(), agents.PerfConfig{}))
-	add(agents.NewNetworkAgent(baseCfg(), nil, s.networks()...))
-	if s.Opts.AgentSet == AgentsFull {
-		add(agents.NewCPUAgent(baseCfg(), nil))
-		add(agents.NewMemoryAgent(baseCfg(), nil))
-		add(agents.NewDiskAgent(baseCfg(), nil))
-		add(agents.NewHardwareAgent(baseCfg()))
-		for _, sv := range s.Dir.OnHost(h.Name) {
-			switch sv.Spec.Kind {
-			case svc.KindOracle, svc.KindSybase:
-				add(agents.NewDatabaseAgent(baseCfg(), sv, nil))
-			case svc.KindFront:
-				// The paper runs the end-to-end dummy transaction every
-				// 15–30 minutes; schedule accordingly rather than at the
-				// cron period.
-				a, err := agents.NewEndToEndAgent(baseCfg(), sv, 2*simclock.Minute)
-				if err != nil {
-					panic(err)
-				}
-				s.Agents = append(s.Agents, a)
-				a.Schedule(s.Sim, rng.UniformDuration(0, 15*simclock.Minute), 20*simclock.Minute)
-				pair.Watch(h, a.Name())
-			}
-		}
-	}
-}
-
-// buildISSL compiles the manually-maintained index from the site spec.
-// Sites larger than the ISSL capacity keep the first 200 entries, exactly
-// the maintenance headache the paper concedes ("manually updated").
-func (s *Site) buildISSL() *ontology.ISSL {
-	issl := &ontology.ISSL{}
-	for _, h := range s.DC.Hosts() {
-		var names []string
-		for _, sv := range s.Dir.OnHost(h.Name) {
-			names = append(names, sv.Spec.Name)
-		}
-		if err := issl.Add(ontology.ISSLEntry{Server: h.Name, IP: h.IP, Services: names}); err != nil {
-			break
-		}
-	}
-	return issl
-}
-
-// wireRepairPipeline connects first detections to the human repair path
-// for faults agents cannot fix (all faults, in manual mode). A repair that
-// cannot complete yet — typically a service fix blocked behind a dead host
-// — is retried until it takes: the on-call team does not go home with a
-// ticket open.
-func (s *Site) wireRepairPipeline() {
-	var attempt func(f *faultinject.Fault, delay simclock.Time)
-	attempt = func(f *faultinject.Fault, delay simclock.Time) {
-		s.Sim.After(delay, "manual-repair:"+f.Aspect, func(now2 simclock.Time) {
-			if !s.Registry.ResolveFault(f, now2, "oncall-admin") && !f.Incident.Resolved {
-				attempt(f, s.Sim.Rand().Jitter(2*simclock.Hour, 0.5))
-			}
-		})
-	}
-	s.Registry.OnDetected = func(f *faultinject.Fault, now simclock.Time) {
-		if s.Opts.Mode == ModeAgents && !f.HumanOnly {
-			return // the agents own this repair
-		}
-		attempt(f, s.Team.RepairDelay(f.Category))
-	}
 }

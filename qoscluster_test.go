@@ -47,7 +47,7 @@ func TestPaperSiteCounts(t *testing.T) {
 
 func TestAgentModeAddsAdminTier(t *testing.T) {
 	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents})
-	site.Run(simclock.Hour)
+	mustRun(t, site, simclock.Hour)
 	if site.Admin == nil {
 		t.Fatal("admin pair missing")
 	}
@@ -68,7 +68,7 @@ func TestAgentModeAddsAdminTier(t *testing.T) {
 
 func TestAgentsFullSet(t *testing.T) {
 	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents, AgentSet: AgentsFull})
-	site.Run(simclock.Hour)
+	mustRun(t, site, simclock.Hour)
 	perHost := map[string]int{}
 	for _, a := range site.Agents {
 		perHost[a.Host().Name]++
@@ -89,7 +89,7 @@ func TestAgentsFullSet(t *testing.T) {
 
 func TestManualYearShape(t *testing.T) {
 	site := BuildSite(SmallSite(7), Options{Mode: ModeManual})
-	site.Run(120 * simclock.Day)
+	mustRun(t, site, 120*simclock.Day)
 	r := site.Report()
 	if r.Total < 50*simclock.Hour {
 		t.Errorf("manual 120d downtime = %v, suspiciously low", r.Total)
@@ -107,7 +107,7 @@ func TestManualYearShape(t *testing.T) {
 
 func TestAgentShortRunDetectsAndRepairs(t *testing.T) {
 	site := BuildSite(SmallSite(7), Options{Mode: ModeAgents})
-	site.Run(10 * simclock.Day)
+	mustRun(t, site, 10*simclock.Day)
 	r := site.Report()
 	if r.AgentRuns == 0 {
 		t.Fatal("agents never ran")
@@ -120,7 +120,7 @@ func TestAgentShortRunDetectsAndRepairs(t *testing.T) {
 	}
 	// Downtime rate must be a small fraction of the manual mode's.
 	manual := BuildSite(SmallSite(7), Options{Mode: ModeManual})
-	manual.Run(10 * simclock.Day)
+	mustRun(t, manual, 10*simclock.Day)
 	if manual.Ledger.TotalDowntime(manual.Sim.Now()) > 0 && r.Total > 0 {
 		ratio := float64(manual.Ledger.TotalDowntime(manual.Sim.Now())) / float64(r.Total)
 		if ratio < 2 {
@@ -132,7 +132,7 @@ func TestAgentShortRunDetectsAndRepairs(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() Report {
 		site := BuildSite(SmallSite(99), Options{Mode: ModeManual})
-		site.Run(60 * simclock.Day)
+		mustRun(t, site, 60*simclock.Day)
 		return site.Report()
 	}
 	a, b := run(), run()
@@ -143,9 +143,9 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedChangesOutcome(t *testing.T) {
 	s1 := BuildSite(SmallSite(1), Options{Mode: ModeManual})
-	s1.Run(90 * simclock.Day)
+	mustRun(t, s1, 90*simclock.Day)
 	s2 := BuildSite(SmallSite(2), Options{Mode: ModeManual})
-	s2.Run(90 * simclock.Day)
+	mustRun(t, s2, 90*simclock.Day)
 	if s1.Report().Total == s2.Report().Total {
 		t.Error("different seeds should give different years")
 	}
@@ -153,7 +153,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 
 func TestNoFaultsNoDowntime(t *testing.T) {
 	site := BuildSite(SmallSite(1), Options{Mode: ModeManual, Faults: []faultinject.Spec{}})
-	site.Run(30 * simclock.Day)
+	mustRun(t, site, 30*simclock.Day)
 	if got := site.Report().Total; got != 0 {
 		t.Errorf("downtime with no faults = %v", got)
 	}
@@ -168,9 +168,9 @@ func TestNoBatchRescueAblation(t *testing.T) {
 		Window: faultinject.Overnight,
 	}}
 	with := BuildSite(SmallSite(5), Options{Mode: ModeAgents, Faults: midOnly})
-	with.Run(8 * simclock.Day)
+	mustRun(t, with, 8*simclock.Day)
 	without := BuildSite(SmallSite(5), Options{Mode: ModeAgents, Faults: midOnly, NoBatchRescue: true})
-	without.Run(8 * simclock.Day)
+	mustRun(t, without, 8*simclock.Day)
 	rw, rwo := with.Report(), without.Report()
 	if rw.Resubmitted == 0 {
 		t.Error("batch rescue should resubmit failed jobs")
@@ -186,7 +186,7 @@ func TestNoBatchRescueAblation(t *testing.T) {
 
 func TestDisablePrivateNet(t *testing.T) {
 	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents, DisablePrivateNet: true})
-	site.Run(simclock.Day)
+	mustRun(t, site, simclock.Day)
 	if site.Private != nil {
 		t.Fatal("private network should be absent")
 	}
@@ -200,7 +200,7 @@ func TestDisablePrivateNet(t *testing.T) {
 
 func TestPrivateNetCarriesAgentTraffic(t *testing.T) {
 	site := BuildSite(SmallSite(1), Options{Mode: ModeAgents})
-	site.Run(simclock.Day)
+	mustRun(t, site, simclock.Day)
 	if site.Private.Stats().Bytes == 0 {
 		t.Error("private network should carry the agent traffic")
 	}
@@ -216,9 +216,9 @@ func TestCronPeriodAblationDirection(t *testing.T) {
 		Window: faultinject.AnyTime,
 	}}
 	fast := BuildSite(SmallSite(3), Options{Mode: ModeAgents, CronPeriod: 2 * simclock.Minute, Faults: fault})
-	fast.Run(6 * simclock.Day)
+	mustRun(t, fast, 6*simclock.Day)
 	slow := BuildSite(SmallSite(3), Options{Mode: ModeAgents, CronPeriod: simclock.Hour, Faults: fault})
-	slow.Run(6 * simclock.Day)
+	mustRun(t, slow, 6*simclock.Day)
 	rf, rs := fast.Report(), slow.Report()
 	if rf.MeanDetect >= rs.MeanDetect {
 		t.Errorf("shorter cron should detect faster: 1m->%v 60m->%v", rf.MeanDetect, rs.MeanDetect)
@@ -230,7 +230,7 @@ func TestCronPeriodAblationDirection(t *testing.T) {
 
 func TestReportFormat(t *testing.T) {
 	site := BuildSite(SmallSite(7), Options{Mode: ModeManual})
-	site.Run(30 * simclock.Day)
+	mustRun(t, site, 30*simclock.Day)
 	out := site.Report().Format()
 	for _, want := range []string{"mid-crash", "TOTAL", "detection:", "batch:"} {
 		if !strings.Contains(out, want) {

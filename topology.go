@@ -1,0 +1,503 @@
+package qoscluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/svc"
+)
+
+// A Topology declares a site as data: ordered tiers of hosts, each with a
+// role, a cyclic hardware mix, an IP block and the service templates
+// deployed across its hosts. NewSite turns a Topology into a running
+// scenario; PaperTopology and SmallTopology are the two canned values the
+// paper's evaluation uses, and RegisterTopology / LoadTopology let
+// callers add their own — in Go or as a JSON file — and select them by
+// name (`qossim -site <name|file.json>`).
+type Topology struct {
+	// Name identifies the topology: it is the registry key, the campaign
+	// site label, and the datacentre name hosts carry.
+	Name string `json:"name"`
+	Geo  string `json:"geo"`
+	// Tiers deploy in order; host and service construction order (and
+	// therefore the simulation's RNG consumption) is fully determined by
+	// the declaration, so the same topology always builds the same site.
+	Tiers []Tier `json:"tiers"`
+}
+
+// Tier is one homogeneous-role block of hosts.
+type Tier struct {
+	// Name labels the tier and prefixes its host names (db -> db001...).
+	Name string `json:"name"`
+	// Role is the hosts' function: "database", "transaction" or
+	// "frontend". ("admin" is reserved: administration hosts are added by
+	// ModeAgents itself.)
+	Role  string `json:"role"`
+	Hosts int    `json:"hosts"`
+	// Hardware is the cyclic model mix: host i runs Hardware[i%len].
+	// Model names come from cluster.Models (E10K, E4500, E450, E220R,
+	// Ultra10, HP-K, HP-T, SP2, linux-x86).
+	Hardware []string `json:"hardware"`
+	// IPBlock is the tier's /24 prefix ("10.2.0"); host i gets .i+1.
+	// "10.1.0" is reserved for the administration tier.
+	IPBlock string `json:"ip_block"`
+	// Services are deployed per host, in order.
+	Services []ServiceTemplate `json:"services,omitempty"`
+}
+
+// ServiceTemplate stamps one service kind across a tier's hosts.
+type ServiceTemplate struct {
+	// Kind is the svc.Kind: oracle, sybase, webserver, frontend, lsf,
+	// feedhandler.
+	Kind string `json:"kind"`
+	// Name is the instance-name pattern: "{host}" expands to the host
+	// name, a fmt verb (e.g. "ORA-%03d") to the 1-based host ordinal
+	// within the tier.
+	Name string `json:"name"`
+	// Port for host i is Port + i*PortStep (i 0-based), mirroring how the
+	// paper's site spread listener ports across a tier.
+	Port     int `json:"port,omitempty"`
+	PortStep int `json:"port_step,omitempty"`
+	// Cycle/Phases select a subset of hosts: with Cycle > 1 the template
+	// deploys on host i iff i%Cycle is listed in Phases. The paper's
+	// database tier is oracle on phases {0,1,2} and sybase on {3} of a
+	// 4-cycle. Cycle 0 or 1 means every host.
+	Cycle  int   `json:"cycle,omitempty"`
+	Phases []int `json:"phases,omitempty"`
+	// DependsOn names another tier: instance i depends on that tier's
+	// LSF-target services, round-robin (the paper's front ends each pin
+	// one database).
+	DependsOn string `json:"depends_on,omitempty"`
+	// LSFTarget marks the service as a batch execution target: it gets an
+	// LSF slot limit, joins the workload generator's submission pool and
+	// serves as the dependency pool for DependsOn.
+	LSFTarget bool `json:"lsf_target,omitempty"`
+}
+
+// adminIPBlock is where ModeAgents puts the administration pair.
+const adminIPBlock = "10.1.0"
+
+// roleFor maps a tier's declared role onto the cluster role.
+func roleFor(role string) (cluster.Role, error) {
+	switch role {
+	case "database":
+		return cluster.RoleDatabase, nil
+	case "transaction":
+		return cluster.RoleTransaction, nil
+	case "frontend":
+		return cluster.RoleFrontEnd, nil
+	case "admin":
+		return "", fmt.Errorf("role %q is reserved for the administration tier ModeAgents adds", role)
+	default:
+		return "", fmt.Errorf("unknown role %q (want database, transaction or frontend)", role)
+	}
+}
+
+// appliesTo reports whether the template deploys on the tier's i-th host
+// (0-based).
+func (st ServiceTemplate) appliesTo(i int) bool {
+	if st.Cycle <= 1 {
+		return true
+	}
+	for _, p := range st.Phases {
+		if i%st.Cycle == p {
+			return true
+		}
+	}
+	return false
+}
+
+// instanceName renders the template's name pattern for one host.
+func (st ServiceTemplate) instanceName(ord int, host string) string {
+	s := strings.ReplaceAll(st.Name, "{host}", host)
+	if strings.Contains(s, "%") {
+		s = fmt.Sprintf(s, ord)
+	}
+	return s
+}
+
+// Validate checks the topology is buildable: named, at least one tier,
+// unique tier names and IP blocks, positive host counts, known roles,
+// hardware models and service kinds, in-range phases, unique expanded
+// service names, and cross-tier dependencies that resolve to a non-empty
+// LSF-target pool.
+func (t Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("topology has no name")
+	}
+	if len(t.Tiers) == 0 {
+		return fmt.Errorf("topology %q declares no tiers", t.Name)
+	}
+	tierNames := map[string]bool{}
+	ipBlocks := map[string]string{}
+	for _, tier := range t.Tiers {
+		if tier.Name == "" {
+			return fmt.Errorf("tier with no name")
+		}
+		if !validTierName(tier.Name) {
+			return fmt.Errorf("tier name %q: want a letter followed by letters, digits, '-' or '_' (it prefixes host names and feeds the service name patterns)", tier.Name)
+		}
+		if tierNames[tier.Name] {
+			return fmt.Errorf("duplicate tier name %q", tier.Name)
+		}
+		tierNames[tier.Name] = true
+		if tier.Hosts <= 0 {
+			return fmt.Errorf("tier %q: %d hosts (want > 0)", tier.Name, tier.Hosts)
+		}
+		if tier.Hosts > 254 {
+			return fmt.Errorf("tier %q: %d hosts exceeds the 254 addresses of IP block %s; split the tier",
+				tier.Name, tier.Hosts, tier.IPBlock)
+		}
+		if _, err := roleFor(tier.Role); err != nil {
+			return fmt.Errorf("tier %q: %w", tier.Name, err)
+		}
+		if len(tier.Hardware) == 0 {
+			return fmt.Errorf("tier %q: empty hardware mix", tier.Name)
+		}
+		for _, model := range tier.Hardware {
+			if _, ok := cluster.ModelByName(model); !ok {
+				return fmt.Errorf("tier %q: unknown hardware model %q (known: %s)",
+					tier.Name, model, strings.Join(modelNames(), ", "))
+			}
+		}
+		if strings.Count(tier.IPBlock, ".") != 2 {
+			return fmt.Errorf("tier %q: IP block %q (want a /24 prefix like \"10.2.0\")", tier.Name, tier.IPBlock)
+		}
+		if tier.IPBlock == adminIPBlock {
+			return fmt.Errorf("tier %q: IP block %s is reserved for the administration tier", tier.Name, adminIPBlock)
+		}
+		if prev, dup := ipBlocks[tier.IPBlock]; dup {
+			return fmt.Errorf("tiers %q and %q share IP block %s", prev, tier.Name, tier.IPBlock)
+		}
+		ipBlocks[tier.IPBlock] = tier.Name
+		for _, st := range tier.Services {
+			if err := st.validate(tier.Name); err != nil {
+				return err
+			}
+		}
+	}
+	// Expand the templates: service names must be unique site-wide
+	// (svc.Directory is name-keyed), and per-tier LSF-target counts are
+	// taken over expanded instances — a target template whose cycle/phases
+	// select no host provides nothing.
+	// Host names cannot collide: tier names are unique and every host
+	// name is the tier name plus exactly three digits (Hosts <= 254
+	// keeps %03d from widening), so equal host names would force equal
+	// tier names.
+	seen := map[string]string{}
+	targets := map[string]int{} // tier name -> expanded LSF-target instances
+	for _, tier := range t.Tiers {
+		for i := 0; i < tier.Hosts; i++ {
+			host := tier.hostName(i)
+			for _, st := range tier.Services {
+				if !st.appliesTo(i) {
+					continue
+				}
+				name := st.instanceName(i+1, host)
+				if prev, dup := seen[name]; dup {
+					return fmt.Errorf("service name %q expands on both %s and %s (name patterns need a %%d ordinal or {host})",
+						name, prev, host)
+				}
+				seen[name] = host
+				if st.LSFTarget {
+					targets[tier.Name]++
+				}
+			}
+		}
+	}
+	// Cross-tier dependencies must point at a tier whose expansion
+	// actually publishes targets (the dependency pool is round-robined,
+	// so an empty one is unusable). A topology with no targets at all is
+	// legal — the batch workload just idles and only interactive/feed
+	// load is offered.
+	for _, tier := range t.Tiers {
+		for _, st := range tier.Services {
+			if st.DependsOn == "" {
+				continue
+			}
+			if !tierNames[st.DependsOn] {
+				return fmt.Errorf("tier %q service %q depends on unknown tier %q", tier.Name, st.Name, st.DependsOn)
+			}
+			if targets[st.DependsOn] == 0 {
+				return fmt.Errorf("tier %q service %q depends on tier %q, which expands to no lsf_target services",
+					tier.Name, st.Name, st.DependsOn)
+			}
+		}
+	}
+	return nil
+}
+
+func (st ServiceTemplate) validate(tier string) error {
+	if st.Name == "" {
+		return fmt.Errorf("tier %q: service template with no name pattern", tier)
+	}
+	// fmt reports a malformed pattern (wrong verb, stray %, too many
+	// verbs) with a "%!" marker in its output; catch it here instead of
+	// shipping garbage service names into reports and DGSPLs.
+	if rendered := st.instanceName(1, "host"); strings.Contains(rendered, "%!") {
+		return fmt.Errorf("tier %q service %q: bad name pattern (renders as %q); use one integer verb like %%03d or {host}",
+			tier, st.Name, rendered)
+	}
+	if _, err := svc.SpecFor(svc.Kind(st.Kind), "probe", 1); err != nil {
+		return fmt.Errorf("tier %q service %q: unknown kind %q", tier, st.Name, st.Kind)
+	}
+	if st.Cycle < 0 {
+		return fmt.Errorf("tier %q service %q: negative cycle %d", tier, st.Name, st.Cycle)
+	}
+	if st.Cycle > 1 && len(st.Phases) == 0 {
+		return fmt.Errorf("tier %q service %q: cycle %d without phases deploys nowhere meaningful; list phases",
+			tier, st.Name, st.Cycle)
+	}
+	if st.Cycle <= 1 && len(st.Phases) > 0 {
+		return fmt.Errorf("tier %q service %q: phases %v without a cycle > 1", tier, st.Name, st.Phases)
+	}
+	for _, p := range st.Phases {
+		if p < 0 || p >= st.Cycle {
+			return fmt.Errorf("tier %q service %q: phase %d out of range [0,%d)", tier, st.Name, p, st.Cycle)
+		}
+	}
+	return nil
+}
+
+// validTierName restricts tier names to a letter followed by letters,
+// digits, '-' or '_': the name prefixes host names and flows through the
+// service-name fmt pass, so characters like '%' would mangle both.
+func validTierName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '_'):
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+func (t Tier) hostName(i int) string { return fmt.Sprintf("%s%03d", t.Name, i+1) }
+
+func (t Tier) hostIP(i int) string { return fmt.Sprintf("%s.%d", t.IPBlock, i+1) }
+
+func (t Tier) hardwareFor(i int) cluster.HardwareModel {
+	m, _ := cluster.ModelByName(t.Hardware[i%len(t.Hardware)])
+	return m
+}
+
+func modelNames() []string {
+	names := make([]string, 0, len(cluster.Models))
+	for _, m := range cluster.Models {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// JSON renders the topology in its canonical JSON form — the same shape
+// LoadTopology reads, so a topology survives a write/load round trip
+// unchanged.
+func (t Topology) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// LoadTopology decodes and validates a JSON topology. Unknown fields are
+// rejected so a typo'd "hardwares" key fails loudly instead of silently
+// deploying defaults.
+func LoadTopology(r io.Reader) (Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Topology
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("decode topology: %w", err)
+	}
+	// One document per file: trailing content (say, a botched merge
+	// concatenating two topologies) must not be silently discarded.
+	if _, err := dec.Token(); err != io.EOF {
+		return Topology{}, fmt.Errorf("decode topology: trailing data after the topology document")
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// LoadTopologyFile reads a topology JSON file.
+func LoadTopologyFile(path string) (Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, err
+	}
+	defer f.Close()
+	t, err := LoadTopology(f)
+	if err != nil {
+		return Topology{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// --- Named-topology registry ---
+
+var (
+	topoMu  sync.RWMutex
+	topoReg = map[string]Topology{}
+)
+
+// RegisterTopology validates a topology and registers it under its Name,
+// replacing any earlier registration, so scenarios and campaigns can
+// select it with `-site <name>`.
+func RegisterTopology(t Topology) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	topoReg[t.Name] = t
+	return nil
+}
+
+// TopologyByName looks up a registered topology.
+func TopologyByName(name string) (Topology, bool) {
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	t, ok := topoReg[name]
+	return t, ok
+}
+
+// TopologyNames lists the registered topologies, sorted.
+func TopologyNames() []string {
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	names := make([]string, 0, len(topoReg))
+	for name := range topoReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	for _, t := range []Topology{
+		PaperTopology(), SmallTopology(), WebFarmTopology(), ComputeFarmTopology(),
+	} {
+		if err := RegisterTopology(t); err != nil {
+			panic(err) // built-in topologies must validate
+		}
+	}
+}
+
+// --- Canned topologies ---
+
+// paperShaped builds the paper's three-tier site shape — an
+// Oracle/Sybase database tier carrying LSF, a market-data transaction
+// tier and a front-end tier pinned to databases — at the given scale.
+func paperShaped(name, geo string, db, tx, fe int) Topology {
+	t := Topology{Name: name, Geo: geo}
+	if db > 0 {
+		t.Tiers = append(t.Tiers, Tier{
+			Name: "db", Role: "database", Hosts: db, IPBlock: "10.2.0",
+			Hardware: []string{"E10K", "E4500", "E4500"},
+			Services: []ServiceTemplate{
+				{Kind: "oracle", Name: "ORA-%03d", Port: 1521, Cycle: 4, Phases: []int{0, 1, 2}, LSFTarget: true},
+				{Kind: "sybase", Name: "SYB-%03d", Port: 4100, Cycle: 4, Phases: []int{3}, LSFTarget: true},
+				{Kind: "lsf", Name: "LSF-{host}"},
+			},
+		})
+	}
+	if tx > 0 {
+		t.Tiers = append(t.Tiers, Tier{
+			Name: "tx", Role: "transaction", Hosts: tx, IPBlock: "10.3.0",
+			Hardware: []string{"E450", "HP-K", "E220R", "HP-T", "linux-x86", "Ultra10"},
+			Services: []ServiceTemplate{
+				{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
+			},
+		})
+	}
+	if fe > 0 {
+		feTier := Tier{
+			Name: "fe", Role: "frontend", Hosts: fe, IPBlock: "10.4.0",
+			Hardware: []string{"SP2"},
+			Services: []ServiceTemplate{
+				{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1},
+			},
+		}
+		if db > 0 {
+			feTier.Services[0].DependsOn = "db"
+		}
+		t.Tiers = append(t.Tiers, feTier)
+	}
+	return t
+}
+
+// PaperTopology is the paper's full-size evaluation site: 100 database,
+// 55 transaction and 60 front-end servers with the §4 hardware spread.
+// Use it for structure demonstrations; year-long simulations want
+// SmallTopology, whose downtime ledger is equivalent because fault
+// arrival rates are site-wide.
+func PaperTopology() Topology { return paperShaped("paper", "UK", 100, 55, 60) }
+
+// SmallTopology is the scaled site for long simulations: the fault
+// campaign is defined per site, not per host, so category downtime totals
+// are unaffected by the scale-down while event counts drop by an order of
+// magnitude.
+func SmallTopology() Topology { return paperShaped("small", "UK", 6, 2, 3) }
+
+// WebFarmTopology is a front-end-heavy web estate: a small database core
+// feeding a large commodity web tier and a GUI tier — the opposite load
+// shape to the paper's database-dominated site. Interactive pressure
+// lands on the (many) front-end-role hosts while the batch pool is tiny.
+func WebFarmTopology() Topology {
+	return Topology{
+		Name: "webfarm", Geo: "UK",
+		Tiers: []Tier{
+			{Name: "db", Role: "database", Hosts: 4, IPBlock: "10.2.0",
+				Hardware: []string{"E4500"},
+				Services: []ServiceTemplate{
+					{Kind: "oracle", Name: "ORA-%03d", Port: 1521, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "web", Role: "frontend", Hosts: 18, IPBlock: "10.5.0",
+				Hardware: []string{"linux-x86", "linux-x86", "SP2"},
+				Services: []ServiceTemplate{
+					{Kind: "webserver", Name: "WEB-%03d", Port: 8080, PortStep: 1},
+				}},
+			{Name: "fe", Role: "frontend", Hosts: 10, IPBlock: "10.4.0",
+				Hardware: []string{"SP2"},
+				Services: []ServiceTemplate{
+					{Kind: "frontend", Name: "FE-%03d", Port: 9000, PortStep: 1, DependsOn: "db"},
+				}},
+		},
+	}
+}
+
+// ComputeFarmTopology is a batch-dominated compute farm: twenty heavy
+// execution hosts (every one an LSF target), a token pair of feed
+// handlers and a minimal GUI tier. The workload generator scales
+// submissions with the target pool, so overnight batch — the paper's
+// dominant failure trigger — is the main offered load here.
+func ComputeFarmTopology() Topology {
+	return Topology{
+		Name: "computefarm", Geo: "UK",
+		Tiers: []Tier{
+			{Name: "compute", Role: "database", Hosts: 20, IPBlock: "10.6.0",
+				Hardware: []string{"E10K", "E4500", "HP-K", "E4500"},
+				Services: []ServiceTemplate{
+					{Kind: "oracle", Name: "CDB-%03d", Port: 1521, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "feed", Role: "transaction", Hosts: 2, IPBlock: "10.3.0",
+				Hardware: []string{"E450"},
+				Services: []ServiceTemplate{
+					{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
+				}},
+			{Name: "fe", Role: "frontend", Hosts: 2, IPBlock: "10.4.0",
+				Hardware: []string{"SP2"},
+				Services: []ServiceTemplate{
+					{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1, DependsOn: "compute"},
+				}},
+		},
+	}
+}
