@@ -8,7 +8,7 @@ PKGS := ./...
 # not when tee does.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test test-race bench bench-agentday lint staticcheck fmt campaign-smoke topology-smoke benchdiff clean
+.PHONY: all build test test-race bench bench-agentday perf-proof lint staticcheck fmt campaign-smoke topology-smoke benchdiff clean
 
 all: lint build test
 
@@ -28,10 +28,23 @@ test-race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' $(PKGS)
 
-# The perf-gate data point: the agent cron hot loop, repeated so the
-# best-of ns/op that scripts/benchdiff compares is stable.
+# The perf-gate data points: the agent cron hot loop on the scaled and
+# paper-size sites plus the pooled-vs-fresh campaign trial pair, with
+# -benchmem so scripts/benchdiff gates allocs/op alongside ns/op.
+# Repeated (-count 3) so the best-of values compared are stable.
+BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh)$$
+
 bench-agentday:
-	$(GO) test -bench '^BenchmarkAgentDay$$' -benchtime 2x -count 3 -run '^$$' . | tee bench-agentday.txt
+	$(GO) test -bench '$(BENCH_GATE)' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-agentday.txt
+
+# Speedup proof against the checked-in seed artifact: BenchmarkAgentDay
+# must be at least 2x faster than the pre-optimisation engine
+# (testdata/bench-agentday-seed.txt, recorded at the fast-path PR).
+# Hardware-sensitive: meaningful on a machine comparable to the one that
+# recorded the artifact, so it is a local target, not a CI gate.
+perf-proof:
+	$(GO) test -bench '^BenchmarkAgentDay$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-proof.txt
+	$(GO) run ./scripts/benchdiff -improvement 2 testdata/bench-agentday-seed.txt bench-proof.txt
 
 # Short real campaigns whose JSON summaries feed the perf trajectory; CI
 # uploads campaign-smoke.json and ablate-smoke.json as build artifacts.
@@ -73,4 +86,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json bench.txt bench-agentday.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json bench.txt bench-agentday.txt bench-proof.txt

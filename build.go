@@ -45,6 +45,10 @@ type Site struct {
 	dbServices []string // LSF execution targets, in deployment order
 	started    bool
 	deployErr  error // sticky first-Run deployment failure
+
+	cron    *simclock.Wheel // coalesced agent cron (nil under ReferenceScheduler)
+	ranTo   simclock.Time   // furthest simulated time a Run call has reached
+	running bool            // inside Run: guards re-entrant Run/Reset
 }
 
 // NewSite assembles a site from a declarative topology and functional
@@ -170,6 +174,13 @@ func (s *Site) buildServices() error {
 		}
 	}
 	// Everything starts; startup completes within the first minutes.
+	return s.startServices()
+}
+
+// startServices launches every service in dependency order and settles the
+// first ten minutes of simulated time — the dynamic tail of assembly,
+// shared by the fresh build and Reset.
+func (s *Site) startServices() error {
 	order, err := s.Dir.StartOrder()
 	if err != nil {
 		return fmt.Errorf("service start order: %w", err)
@@ -218,7 +229,20 @@ func (s *Site) workloadConfig() workload.Config {
 // first call is returned before any simulated time passes — and sticks:
 // every later Run returns it too, so a caller that dropped the first
 // error cannot quietly advance a half-deployed site.
+//
+// Run may be called repeatedly with strictly increasing times to advance a
+// scenario in steps. Re-invoking it with a time already reached is an
+// error: the site's event state is spent up to that point, and silently
+// "re-running" would report the same ledger as if new simulation had
+// happened. Reset rewinds the site for a genuine re-run.
 func (s *Site) Run(until simclock.Time) error {
+	if s.running {
+		return fmt.Errorf("site %s: Run(%v) re-entered from inside an event callback", s.Topo.Name, until)
+	}
+	if s.started && until <= s.ranTo {
+		return fmt.Errorf("site %s: already ran to %v; Run(%v) would re-run spent event state — advance further or Reset(seed) first",
+			s.Topo.Name, s.ranTo, until)
+	}
 	if !s.started {
 		s.started = true
 		s.Gen.Start()
@@ -238,7 +262,76 @@ func (s *Site) Run(until simclock.Time) error {
 	if s.deployErr != nil {
 		return s.deployErr
 	}
+	s.running = true
 	s.Sim.RunUntil(until)
+	s.running = false
+	if until > s.ranTo {
+		s.ranTo = until
+	}
+	return nil
+}
+
+// Reset rewinds the site to the state NewSite left it in, reseeded: the
+// simulator, hosts (including their filesystems), services, networks,
+// ledger, fault registry and workload generator all return to their
+// post-assembly state; mode-added machinery (administration pair, agents,
+// monitors, fault campaign) is dropped and will redeploy on the next Run.
+// The next Run replays exactly what a freshly built site with the same
+// topology, options and seed would produce — the reuse equivalence tests
+// gate this byte-for-byte — while reusing the allocated skeleton (host
+// names, filesystem maps, service objects, event storage).
+//
+// Reset is safe whenever the topology and non-seed options are unchanged:
+// everything derived from them is rebuilt or replayed. Changing the
+// topology or options requires a rebuild with NewSite — Reset deliberately
+// has no way to take new ones.
+func (s *Site) Reset(seed uint64) error {
+	if s.running {
+		return fmt.Errorf("site %s: Reset(%d) from inside an event callback", s.Topo.Name, seed)
+	}
+	s.Opts.Seed = seed
+	s.Sim.Reset(seed)
+
+	// Drop the mode-added administration hosts, then rewind the skeleton.
+	s.DC.Remove("admin1")
+	s.DC.Remove("admin2")
+	for _, h := range s.DC.Hosts() {
+		h.Reset()
+	}
+	for _, sv := range s.Dir.All() {
+		sv.Reset()
+	}
+	s.Bus.Reset()
+	s.Ledger.Reset()
+	s.Registry.Reset() // keeps the OnDetected repair-pipeline hook
+	s.Public.Reset()
+	if s.Private != nil {
+		s.Private.Reset()
+	}
+	s.LSF.Reset()
+	s.Admin = nil
+	s.Monitors = nil
+	s.Agents = nil
+	s.Campaign = nil
+	s.cron = nil
+	s.started = false
+	s.deployErr = nil
+	s.ranTo = 0
+
+	// Replay the dynamic half of assembly in the exact order newSite runs
+	// it, so the reseeded random stream is consumed identically: the
+	// operator team's fork, then service startup and the settling window,
+	// then the workload generator's fork.
+	s.Team.Reseed(s.Sim.Rand().Fork(0x09e7))
+	for _, tier := range s.Topo.Tiers {
+		for i := 0; i < tier.Hosts; i++ {
+			s.attach(s.DC.Host(tier.hostName(i)))
+		}
+	}
+	if err := s.startServices(); err != nil {
+		return fmt.Errorf("site %s: reset: %w", s.Topo.Name, err)
+	}
+	s.Gen.Reset(s.Sim.Rand())
 	return nil
 }
 
@@ -295,6 +388,21 @@ func (s *Site) deployAgents() error {
 	return nil
 }
 
+// scheduleAgent wires one agent's cron: onto the site's shared coalesced
+// wheel by default, or via a per-agent heap ticker under the
+// ReferenceScheduler option — the seed path the equivalence tests compare
+// the wheel against. Both paths consume the phase draw identically.
+func (s *Site) scheduleAgent(a *agent.Agent, phase, period simclock.Time) {
+	if s.Opts.ReferenceScheduler {
+		a.Schedule(s.Sim, phase, period)
+		return
+	}
+	if s.cron == nil {
+		s.cron = simclock.NewWheel(s.Sim)
+	}
+	a.ScheduleCoalesced(s.Sim, s.cron, phase, period)
+}
+
 func (s *Site) networks() []*netsim.Network {
 	if s.Private != nil {
 		return []*netsim.Network{s.Private, s.Public}
@@ -326,7 +434,7 @@ func (s *Site) deployHostAgents(h *cluster.Host, bridge *agents.RegistryBridge,
 			return err
 		}
 		s.Agents = append(s.Agents, a)
-		a.Schedule(s.Sim, rng.UniformDuration(0, s.Opts.CronPeriod), s.Opts.CronPeriod)
+		s.scheduleAgent(a, rng.UniformDuration(0, s.Opts.CronPeriod), s.Opts.CronPeriod)
 		pair.Watch(h, a.Name())
 		return nil
 	}
@@ -372,7 +480,7 @@ func (s *Site) deployHostAgents(h *cluster.Host, bridge *agents.RegistryBridge,
 					return fmt.Errorf("end-to-end agent for %s: %w", sv.Spec.Name, err)
 				}
 				s.Agents = append(s.Agents, a)
-				a.Schedule(s.Sim, rng.UniformDuration(0, 15*simclock.Minute), 20*simclock.Minute)
+				s.scheduleAgent(a, rng.UniformDuration(0, 15*simclock.Minute), 20*simclock.Minute)
 				pair.Watch(h, a.Name())
 			}
 		}

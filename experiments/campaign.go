@@ -29,7 +29,11 @@ func Campaign(name string, cfg Config, trials, workers int) (*campaign.Result, e
 	if err != nil {
 		return nil, err
 	}
-	return campaign.Run(name, m, workers, RunTrial)
+	// A fresh pool per campaign: skeletons never outlive the run, so a
+	// topology or override re-registered between campaigns (both are
+	// documented as replaceable) can never resurface through a stale
+	// pooled site — CellKey records only the names.
+	return campaign.Run(name, m, workers, NewPooledRunFunc())
 }
 
 // CampaignNames lists every scenario CampaignMatrix accepts.
@@ -202,47 +206,114 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 	return o, nil
 }
 
-// RunTrial executes one campaign trial. It is the campaign.RunFunc for
-// this package's scenarios and is safe for concurrent use: all state lives
-// in the site built here. The trial's Site coordinate names a registered
-// topology (CampaignMatrix registers JSON-file sites before any trial
-// runs).
-func RunTrial(t campaign.Trial) (map[string]float64, error) {
-	cfg := Config{Seed: t.Seed, Days: t.Days}
-	switch t.Scenario {
+// siteScenario reports whether the scenario's trials build a full named
+// site — the trials worth running on a reused skeleton. The overhead-rig
+// scenarios build their own fixed one-host rigs instead.
+func siteScenario(name string) bool {
+	switch name {
 	case "year", "latency", "mttr", "ablate-cron", "ablate-rescue", "ablate-net":
-		opts, err := trialOptions(t)
+		return true
+	}
+	return false
+}
+
+// buildTrialSite assembles the site one trial's coordinates call for.
+func buildTrialSite(t campaign.Trial) (*qoscluster.Site, error) {
+	opts, err := trialOptions(t)
+	if err != nil {
+		return nil, err
+	}
+	return buildNamedSite(t.Site, t.Seed, qoscluster.WithOptions(opts))
+}
+
+// runSiteTrial advances a (fresh or reseeded) site over the trial's span
+// and extracts the scenario's metrics.
+func runSiteTrial(site *qoscluster.Site, t campaign.Trial) (map[string]float64, error) {
+	span := Config{Seed: t.Seed, Days: t.Days}.span()
+	if err := site.Run(span); err != nil {
+		return nil, err
+	}
+	switch t.Scenario {
+	case "year":
+		return yearMetrics(site.Report(), span), nil
+	case "latency":
+		return latencyMetrics(site), nil
+	case "mttr":
+		return mttrMetrics(site), nil
+	case "ablate-cron":
+		return ablateCronMetrics(site.Report()), nil
+	case "ablate-rescue":
+		return ablateRescueMetrics(site.Report()), nil
+	case "ablate-net":
+		return ablateNetMetrics(site), nil
+	default:
+		return nil, fmt.Errorf("scenario %q is not a site scenario", t.Scenario)
+	}
+}
+
+// RunTrial executes one campaign trial on a freshly built site. It is safe
+// for concurrent use: all state lives in the site built here. The trial's
+// Site coordinate names a registered topology (CampaignMatrix registers
+// JSON-file sites before any trial runs).
+//
+// Campaign runs use the pooled variant (NewPooledRunFunc) by default;
+// RunTrial remains the build-per-trial path the equivalence tests compare
+// it against.
+func RunTrial(t campaign.Trial) (map[string]float64, error) {
+	switch {
+	case siteScenario(t.Scenario):
+		site, err := buildTrialSite(t)
 		if err != nil {
 			return nil, err
 		}
-		span := cfg.span()
-		site, err := buildNamedSite(t.Site, t.Seed, qoscluster.WithOptions(opts))
-		if err != nil {
-			return nil, err
-		}
-		if err := site.Run(span); err != nil {
-			return nil, err
-		}
-		switch t.Scenario {
-		case "year":
-			return yearMetrics(site.Report(), span), nil
-		case "latency":
-			return latencyMetrics(site), nil
-		case "mttr":
-			return mttrMetrics(site), nil
-		case "ablate-cron":
-			return ablateCronMetrics(site.Report()), nil
-		case "ablate-rescue":
-			return ablateRescueMetrics(site.Report()), nil
-		default: // ablate-net
-			return ablateNetMetrics(site), nil
-		}
-	case "ablate-resident":
+		return runSiteTrial(site, t)
+	case t.Scenario == "ablate-resident":
 		return residentMetrics(t.Seed), nil
-	case "fig3", "fig4", "overhead":
+	case t.Scenario == "fig3" || t.Scenario == "fig4" || t.Scenario == "overhead":
 		return overheadMetrics(t.Scenario, t.Seed), nil
 	default:
 		return nil, fmt.Errorf("unknown campaign scenario %q", t.Scenario)
+	}
+}
+
+// ReferenceRunTrial is RunTrial with the site's reference scheduler (one
+// heap ticker per agent) instead of the coalesced cron wheel: the seed
+// simulator path. The equivalence tests assert campaign JSON from this
+// path is byte-identical to the pooled wheel path.
+func ReferenceRunTrial(t campaign.Trial) (map[string]float64, error) {
+	if !siteScenario(t.Scenario) {
+		return RunTrial(t)
+	}
+	opts, err := trialOptions(t)
+	if err != nil {
+		return nil, err
+	}
+	opts.ReferenceScheduler = true
+	site, err := buildNamedSite(t.Site, t.Seed, qoscluster.WithOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return runSiteTrial(site, t)
+}
+
+// NewPooledRunFunc returns a campaign.RunFunc that reuses one site
+// skeleton per matrix cell per worker (Site.Reset between seeds) instead
+// of rebuilding topology, services, networks and agents for every trial.
+// Results are byte-identical to RunTrial — gated by the equivalence tests.
+// Each call returns an independently pooled runner; use one per campaign,
+// since pooled skeletons are keyed by site/override *names* and must not
+// survive a re-registration of either.
+func NewPooledRunFunc() campaign.RunFunc {
+	pooled := campaign.ReuseRunner[*qoscluster.Site]{
+		Build: buildTrialSite,
+		Reset: func(s *qoscluster.Site, t campaign.Trial) error { return s.Reset(t.Seed) },
+		Run:   runSiteTrial,
+	}.RunFunc()
+	return func(t campaign.Trial) (map[string]float64, error) {
+		if !siteScenario(t.Scenario) {
+			return RunTrial(t)
+		}
+		return pooled(t)
 	}
 }
 

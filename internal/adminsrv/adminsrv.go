@@ -13,7 +13,6 @@ package adminsrv
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
@@ -72,9 +71,14 @@ type Pair struct {
 
 	// latest DLSP per origin server, as received over the network.
 	profiles map[string]*ontology.DLSP
-	// watch list: host -> expected agent names.
-	watched map[string][]string
-	hosts   map[string]*cluster.Host
+	// flagDirs is the watch list with precomputed flag-directory paths
+	// (host -> one path per expected agent), and hostOrder keeps the
+	// watched host names sorted — the sweep runs every few simulated
+	// minutes on every host, so its per-pass allocations are hoisted to
+	// Watch time.
+	flagDirs  map[string][]string
+	hostOrder []string
+	hosts     map[string]*cluster.Host
 	// hostDown tracks open whole-host faults we already escalated.
 	hostDown map[string]bool
 	// latestDGSPL is the most recent generation.
@@ -111,7 +115,7 @@ func New(cfg Config) (*Pair, error) {
 		sim:      cfg.Sim,
 		servers:  [2]*Server{{Host: cfg.Primary}, {Host: cfg.Standby}},
 		profiles: make(map[string]*ontology.DLSP),
-		watched:  make(map[string][]string),
+		flagDirs: make(map[string][]string),
 		hosts:    make(map[string]*cluster.Host),
 		hostDown: make(map[string]bool),
 	}
@@ -176,8 +180,14 @@ func (p *Pair) heartbeat(now simclock.Time) {
 
 // Watch registers a host and the agent names expected to drop flags there.
 func (p *Pair) Watch(h *cluster.Host, agentNames ...string) {
+	if _, known := p.hosts[h.Name]; !known {
+		p.hostOrder = append(p.hostOrder, h.Name)
+		sort.Strings(p.hostOrder)
+	}
 	p.hosts[h.Name] = h
-	p.watched[h.Name] = append(p.watched[h.Name], agentNames...)
+	for _, name := range agentNames {
+		p.flagDirs[h.Name] = append(p.flagDirs[h.Name], "/logs/intelliagents/"+name)
+	}
 }
 
 // receive handles messages arriving at the VIP.
@@ -187,7 +197,7 @@ func (p *Pair) receive(now simclock.Time, msg netsim.Message) {
 	}
 	switch msg.Kind {
 	case "dlsp":
-		prof, err := ontology.DecodeDLSP(strings.Split(msg.Payload, "\n"))
+		prof, err := ontology.DecodeDLSPText(msg.Payload)
 		if err != nil {
 			return
 		}
@@ -210,36 +220,21 @@ func (p *Pair) flagSweep(now simclock.Time) {
 		return
 	}
 	p.FlagSweeps++
-	names := make([]string, 0, len(p.hosts))
-	for n := range p.hosts {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range p.hostOrder {
 		h := p.hosts[name]
 		if !h.Up() {
 			p.handleDeadHost(now, h)
 			continue
 		}
 		delete(p.hostDown, name)
-		for _, agentName := range p.watched[name] {
-			flagDir := "/logs/intelliagents/" + agentName
-			if names, err := h.FS.List(flagDir); err != nil || !hasFlagFile(names) {
+		for _, flagDir := range p.flagDirs[name] {
+			if !h.FS.HasFileWithSuffix(flagDir, ".flag") {
 				// Missing flags: internal intelliagent problem or it never
 				// ran (§3.3). Troubleshoot the agent process.
 				p.AgentRestarts++
 			}
 		}
 	}
-}
-
-func hasFlagFile(names []string) bool {
-	for _, n := range names {
-		if strings.HasSuffix(n, ".flag") {
-			return true
-		}
-	}
-	return false
 }
 
 // handleDeadHost detects (and escalates once) a whole-host failure.

@@ -11,6 +11,7 @@ package agent
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/fsim"
@@ -110,10 +111,20 @@ type RunContext struct {
 
 // Logf appends a line to the agent's activity log (communication part).
 func (rc *RunContext) Logf(format string, args ...any) {
-	if rc.log != nil {
-		line := fmt.Sprintf("%v %s: ", rc.Now, rc.agent.name) + fmt.Sprintf(format, args...)
-		_ = rc.log.Append(line)
+	if rc.log == nil {
+		return
 	}
+	buf := rc.Now.AppendString(rc.agent.logBuf[:0])
+	buf = append(buf, ' ')
+	buf = append(buf, rc.agent.name...)
+	buf = append(buf, ':', ' ')
+	if len(args) == 0 && !strings.ContainsRune(format, '%') {
+		buf = append(buf, format...)
+	} else {
+		buf = fmt.Appendf(buf, format, args...)
+	}
+	rc.agent.logBuf = buf[:0]
+	_ = rc.log.Append(string(buf))
 }
 
 // Parts are the pluggable halves of the five-part anatomy: monitoring,
@@ -192,6 +203,21 @@ type Agent struct {
 
 	counters Counters
 	admins   []string
+
+	// Hot-loop scratch state. rc is the reusable run context handed to the
+	// parts each run (parts must not retain it past the run, which none
+	// do); logBuf backs Logf's formatting; lockLine backs the lock file
+	// write; exitFn is the preallocated end-of-run reaper; flagsOK records
+	// that the flag directory holds exactly ok.flag — the self-maintenance
+	// fast path: an ok run following an ok run leaves the flag state
+	// byte-identical, so neither the sweep nor the rewrite needs to touch
+	// the filesystem.
+	rc       RunContext
+	logBuf   []byte
+	lockLine [1]string
+	exitFn   func(simclock.Time)
+	exitPID  int
+	flagsOK  bool
 }
 
 // InstallDir is where every intelliagent lives, per the paper ("always in

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/notify"
@@ -30,19 +31,27 @@ func (a *Agent) Run(sim *simclock.Sim) {
 	a.counters.Runs++
 
 	// The agent exists as a process only while awake: spawn, then reap at
-	// the end of the run window, charging the CPU it burned.
+	// the end of the run window, charging the CPU it burned. The reaper
+	// closure is built once per agent (it reads exitPID at fire time) and
+	// posted through the Sim's pooled no-handle path.
 	proc := a.host.Spawn("intelliagent_"+a.name, "iagent", InstallDir, a.overhead.CPUDemand, a.overhead.MemMB)
 	if proc == nil {
 		return
 	}
-	_ = a.host.FS.WriteLines(a.lockPath, []string{fmt.Sprintf("pid=%d", proc.PID)})
+	a.lockLine[0] = "pid=" + strconv.Itoa(proc.PID)
+	_ = a.host.FS.WriteLines(a.lockPath, a.lockLine[:])
 	a.counters.CPUSeconds += a.overhead.CPUDemand * float64(a.overhead.RunDuration) / float64(simclock.Second)
-	sim.After(a.overhead.RunDuration, "agent-exit:"+a.name, func(simclock.Time) {
-		a.host.Kill(proc.PID)
-		_ = a.host.FS.Remove(a.lockPath)
-	})
+	if a.exitFn == nil {
+		a.exitFn = func(simclock.Time) {
+			a.host.Kill(a.exitPID)
+			_ = a.host.FS.Remove(a.lockPath)
+		}
+	}
+	a.exitPID = proc.PID
+	sim.PostAfter(a.overhead.RunDuration, "agent-exit:"+a.name, a.exitFn)
 
-	rc := &RunContext{
+	rc := &a.rc
+	*rc = RunContext{
 		Now:      sim.Now(),
 		Sim:      sim,
 		Host:     a.host,
@@ -57,12 +66,18 @@ func (a *Agent) Run(sim *simclock.Sim) {
 	}
 
 	// Self-maintenance: clear previous-run flags; the circular activity
-	// log trims itself.
-	if a.enabled.SelfMaintain {
+	// log trims itself. When the previous run verifiably left exactly
+	// ok.flag (flagsOK), the sweep has nothing to do — the only flag
+	// present is the one an ok run would rewrite.
+	cleanOK := a.flagsOK
+	if a.enabled.SelfMaintain && !cleanOK {
 		a.clearFlags()
 	}
 
 	if !a.enabled.Monitor {
+		if cleanOK {
+			a.dirtyFlags()
+		}
 		a.writeFlag("disabled", "")
 		return
 	}
@@ -70,7 +85,12 @@ func (a *Agent) Run(sim *simclock.Sim) {
 	a.counters.Findings += len(findings)
 
 	if len(findings) == 0 {
-		a.writeFlag("ok", "")
+		if !cleanOK {
+			a.writeFlag("ok", "")
+			if a.enabled.SelfMaintain {
+				a.flagsOK = true
+			}
+		}
 		if a.enabled.Communicate {
 			rc.Logf("run ok, no findings")
 			if a.report != nil {
@@ -78,6 +98,9 @@ func (a *Agent) Run(sim *simclock.Sim) {
 			}
 		}
 		return
+	}
+	if cleanOK {
+		a.dirtyFlags()
 	}
 
 	for _, f := range findings {
@@ -156,6 +179,14 @@ func (a *Agent) writeFlag(status, detail string) {
 	_ = a.host.FS.WriteLines(a.flagDir+"/"+flagName(status, detail), nil)
 }
 
+// dirtyFlags leaves the flagsOK fast path: the ok flag the previous run
+// left (and this run's skipped sweep preserved) is removed, exactly as the
+// sweep would have, before the run writes its real flags.
+func (a *Agent) dirtyFlags() {
+	a.flagsOK = false
+	_ = a.host.FS.Remove(a.flagDir + "/ok.flag")
+}
+
 // clearFlags removes previous-run flags (self-maintenance).
 func (a *Agent) clearFlags() {
 	names, err := a.host.FS.List(a.flagDir)
@@ -212,6 +243,19 @@ func sanitize(s string) string {
 // Schedule wires the agent to simulated cron: first run phase after now,
 // then every period ("awakened every X minutes by local to each host Unix
 // crons"). It returns the ticker so scenarios can stop it.
+//
+// This is the reference scheduling path — one heap ticker per agent. Sites
+// default to ScheduleCoalesced; the equivalence tests hold the two paths
+// byte-identical.
 func (a *Agent) Schedule(sim *simclock.Sim, phase, period simclock.Time) *simclock.Ticker {
 	return sim.Every(sim.Now()+phase, period, "cron:"+a.name, func(simclock.Time) { a.Run(sim) })
+}
+
+// ScheduleCoalesced wires the agent's cron onto a shared wheel: agents with
+// the same phase and period share one repeating heap event. Firing times
+// and run order are identical to Schedule — entries on a shared bucket run
+// in registration order, the order their individual events would have
+// fired in. It returns the entry so scenarios can stop it.
+func (a *Agent) ScheduleCoalesced(sim *simclock.Sim, w *simclock.Wheel, phase, period simclock.Time) *simclock.CronEntry {
+	return w.Add(sim.Now()+phase, period, "cron:"+a.name, func(simclock.Time) { a.Run(sim) })
 }

@@ -60,13 +60,17 @@ func NewPerformanceAgent(cfg agent.Config, pc PerfConfig) (*agent.Agent, error) 
 		Monitor: func(rc *agent.RunContext) []agent.Finding {
 			vm := host.VMStat()
 			io := host.IOStat()
+			// One sorted snapshot of the process table serves the process
+			// log and both runaway scans below — ps is the expensive part
+			// of this agent's run, so it is taken exactly once.
+			ps := host.PS()
 			// Measurement groups 1 (OS), 3 (disks), 4/5 (processes),
 			// recorded as timestamped ASCII for timeline association.
 			_ = logFor("os").Append(fmt.Sprintf("%d|sr=%.0f|po=%.0f|free=%.0f|runq=%d|idle=%.1f|blocked=%d",
 				int64(rc.Now), vm.ScanRate, vm.PageOuts, vm.FreeMemMB, vm.RunQueue, vm.CPUIdlePct, vm.BlockedProcs))
 			_ = logFor("disk").Append(fmt.Sprintf("%d|busy=%.0f|asvc=%.1f|wsvc=%.1f",
 				int64(rc.Now), io.BusyPct, io.AsvcMS, io.WsvcMS))
-			for _, p := range host.PS() {
+			for _, p := range ps {
 				if p.CPUDemand >= 0.5 {
 					_ = logFor("procs").Append(fmt.Sprintf("%d|pid=%d|user=%s|cmd=%s|cpu=%.2f|mem=%.0f",
 						int64(rc.Now), p.PID, p.User, p.Name, p.CPUDemand, p.MemMB))
@@ -95,14 +99,14 @@ func NewPerformanceAgent(cfg agent.Config, pc PerfConfig) (*agent.Agent, error) 
 
 			// Runaway detection upgrades the generic threshold warnings to
 			// an actionable fault with the aspect the registry knows.
-			if hog := findRunaway(host, pc.HogFraction); hog != nil {
+			if hog := findRunaway(ps, host, pc.HogFraction); hog != nil {
 				out = append(out, agent.Finding{
 					Aspect: AspectHog, Severity: agent.SevFault,
 					Detail: fmt.Sprintf("runaway process %d (%s) using %.1f CPUs", hog.PID, hog.Name, hog.CPUDemand),
 					Metric: float64(hog.PID),
 				})
 			}
-			if leak := findLeaker(host); leak != nil {
+			if leak := findLeaker(ps, host, vm.ScanRate); leak != nil {
 				out = append(out, agent.Finding{
 					Aspect: AspectLeak, Severity: agent.SevFault,
 					Detail: fmt.Sprintf("process %d (%s) holds %.0f MB, memory scanner awake", leak.PID, leak.Name, leak.MemMB),
@@ -149,11 +153,12 @@ func NewPerformanceAgent(cfg agent.Config, pc PerfConfig) (*agent.Agent, error) 
 
 // findRunaway returns the non-service process with the largest CPU demand
 // exceeding frac of the host's CPUs, or nil. Service processes (database
-// daemons and friends) are never killed by the performance agent.
-func findRunaway(h *cluster.Host, frac float64) *cluster.Process {
+// daemons and friends) are never killed by the performance agent. ps is
+// the caller's sorted process snapshot.
+func findRunaway(ps []*cluster.Process, h *cluster.Host, frac float64) *cluster.Process {
 	limit := frac * float64(h.Model.CPUs)
 	var worst *cluster.Process
-	for _, p := range h.PS() {
+	for _, p := range ps {
 		if !userProcess(p) || !p.Active() {
 			continue
 		}
@@ -165,13 +170,14 @@ func findRunaway(h *cluster.Host, frac float64) *cluster.Process {
 }
 
 // findLeaker returns the biggest non-service memory consumer when the host
-// is under real memory pressure (scanner awake), or nil.
-func findLeaker(h *cluster.Host) *cluster.Process {
-	if h.VMStat().ScanRate == 0 {
+// is under real memory pressure (scanner awake, scanRate from the caller's
+// vmstat sample), or nil.
+func findLeaker(ps []*cluster.Process, h *cluster.Host, scanRate float64) *cluster.Process {
+	if scanRate == 0 {
 		return nil
 	}
 	var worst *cluster.Process
-	for _, p := range h.PS() {
+	for _, p := range ps {
 		if !userProcess(p) {
 			continue
 		}

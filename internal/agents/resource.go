@@ -35,7 +35,7 @@ func NewCPUAgent(cfg agent.Config, b *diagnose.Baseline) (*agent.Agent, error) {
 				out = append(out, agent.Finding{Aspect: "cpu.idlepct", Severity: agent.SevWarning, Detail: msg, Metric: vm.CPUIdlePct})
 			}
 			if len(out) > 0 {
-				if hog := findRunaway(host, 0.5); hog != nil {
+				if hog := findRunaway(host.PS(), host, 0.5); hog != nil {
 					out = append(out, agent.Finding{Aspect: AspectHog, Severity: agent.SevFault,
 						Detail: fmt.Sprintf("runaway pid %d (%s)", hog.PID, hog.Name), Metric: float64(hog.PID)})
 				}
@@ -70,17 +70,22 @@ func NewMemoryAgent(cfg agent.Config, b *diagnose.Baseline) (*agent.Agent, error
 		Monitor: func(rc *agent.RunContext) []agent.Finding {
 			vm := host.VMStat()
 			var out []agent.Finding
-			for aspect, v := range map[string]float64{
-				"memory.scanrate": vm.ScanRate,
-				"memory.pageouts": vm.PageOuts,
-				"memory.freemb":   vm.FreeMemMB,
+			// Fixed check order: ranging a map literal here would make the
+			// finding order (and so the flag/log trail) nondeterministic.
+			for _, c := range [...]struct {
+				aspect string
+				v      float64
+			}{
+				{"memory.scanrate", vm.ScanRate},
+				{"memory.pageouts", vm.PageOuts},
+				{"memory.freemb", vm.FreeMemMB},
 			} {
-				if msg, bad := b.Check(aspect, v); bad {
-					out = append(out, agent.Finding{Aspect: aspect, Severity: agent.SevWarning, Detail: msg, Metric: v})
+				if msg, bad := b.Check(c.aspect, c.v); bad {
+					out = append(out, agent.Finding{Aspect: c.aspect, Severity: agent.SevWarning, Detail: msg, Metric: c.v})
 				}
 			}
 			if len(out) > 0 {
-				if leak := findLeaker(host); leak != nil {
+				if leak := findLeaker(host.PS(), host, vm.ScanRate); leak != nil {
 					out = append(out, agent.Finding{Aspect: AspectLeak, Severity: agent.SevFault,
 						Detail: fmt.Sprintf("leaking pid %d (%s) holds %.0f MB", leak.PID, leak.Name, leak.MemMB), Metric: float64(leak.PID)})
 				}

@@ -180,12 +180,8 @@ func gatherServiceEvidence(s *svc.Service, exitCode int) *diagnose.Evidence {
 
 	present, hung := 0, 0
 	for _, c := range s.Spec.Components {
-		for _, p := range s.Host.PGrep(c.ProcName) {
-			present++
-			if p.State.String() == "H" {
-				hung++
-			}
-		}
+		present += s.Host.CountProcs(c.ProcName)
+		hung += s.Host.CountHungProcs(c.ProcName)
 	}
 	ev.Fact("procs-present", present > 0)
 	ev.Fact("procs-hung", hung > 0)

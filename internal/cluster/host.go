@@ -2,7 +2,7 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/fsim"
 	"repro/internal/simclock"
@@ -75,6 +75,12 @@ type Host struct {
 
 	// lastAccounted is the last time microstate accounting ran.
 	lastAccounted simclock.Time
+
+	// procFree recycles Process objects through the spawn/kill churn of
+	// short-lived agent processes. Callers must not retain *Process across
+	// simulated events (none do — snapshots like PS are consumed within
+	// one callback).
+	procFree []*Process
 }
 
 // NewHost returns a booted host with an empty process table.
@@ -99,6 +105,24 @@ func NewHost(sim *simclock.Sim, name, ip string, model HardwareModel, role Role,
 
 // State reports the host's availability state.
 func (h *Host) State() HostState { return h.state }
+
+// Reset returns the host to the state NewHost leaves it in — up, empty
+// process table, no users, no injected faults, fresh PID counter, wiped
+// local filesystem — while keeping its allocated maps and FS storage. Site
+// reuse calls this between trials.
+func (h *Host) Reset() {
+	h.state = HostUp
+	h.bootedAt = 0
+	clear(h.procs)
+	h.nextPID = 100
+	clear(h.users)
+	h.extraLoad = 0
+	h.diskActivity = 0
+	h.nicErrors = 0
+	h.sensorFaults = nil
+	h.lastAccounted = 0
+	h.FS.Reset()
+}
 
 // Up reports whether the host can run processes and answer probes.
 func (h *Host) Up() bool { return h.state == HostUp }
@@ -138,7 +162,7 @@ func (h *Host) Boot(bootTime simclock.Time, onUp func(now simclock.Time)) {
 		return
 	}
 	h.state = HostBooting
-	h.sim.After(bootTime, "host-boot:"+h.Name, func(now simclock.Time) {
+	h.sim.PostAfter(bootTime, "host-boot:"+h.Name, func(now simclock.Time) {
 		if h.state != HostBooting {
 			return
 		}
@@ -176,7 +200,15 @@ func (h *Host) Spawn(name, user, args string, cpuDemand, memMB float64) *Process
 	}
 	h.accountMicrostates()
 	h.nextPID++
-	p := &Process{
+	var p *Process
+	if n := len(h.procFree); n > 0 {
+		p = h.procFree[n-1]
+		h.procFree[n-1] = nil
+		h.procFree = h.procFree[:n-1]
+	} else {
+		p = &Process{}
+	}
+	*p = Process{
 		PID:       h.nextPID,
 		Name:      name,
 		User:      user,
@@ -193,11 +225,13 @@ func (h *Host) Spawn(name, user, args string, cpuDemand, memMB float64) *Process
 // Kill removes the process with the given PID, reporting whether it
 // existed.
 func (h *Host) Kill(pid int) bool {
-	if _, ok := h.procs[pid]; !ok {
+	p, ok := h.procs[pid]
+	if !ok {
 		return false
 	}
 	h.accountMicrostates()
 	delete(h.procs, pid)
+	h.procFree = append(h.procFree, p)
 	return true
 }
 
@@ -210,7 +244,7 @@ func (h *Host) PS() []*Process {
 	for _, p := range h.procs {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	slices.SortFunc(out, func(a, b *Process) int { return a.PID - b.PID })
 	return out
 }
 
@@ -223,6 +257,30 @@ func (h *Host) PGrep(name string) []*Process {
 		}
 	}
 	return out
+}
+
+// CountProcs reports how many processes have exactly the given name — the
+// allocation-free pgrep -c that hot monitoring paths use in place of
+// len(PGrep(name)).
+func (h *Host) CountProcs(name string) int {
+	n := 0
+	for _, p := range h.procs {
+		if p.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// CountHungProcs reports how many processes with the given name are hung.
+func (h *Host) CountHungProcs(name string) int {
+	n := 0
+	for _, p := range h.procs {
+		if p.Name == name && p.State == ProcHung {
+			n++
+		}
+	}
+	return n
 }
 
 // NProcs reports the process count.
@@ -279,15 +337,20 @@ func (h *Host) InjectNICErrors(n int) { h.nicErrors += n }
 // ClearNICErrors zeroes the NIC error counter (after repair).
 func (h *Host) ClearNICErrors() { h.nicErrors = 0 }
 
-// cpuDemand sums active process demand plus ambient load, in CPUs.
+// cpuDemand sums active process demand plus ambient load, in CPUs. The
+// accumulation runs in integer micro-CPUs: the process table is a map, so
+// a float sum would depend on Go's randomised iteration order — float
+// addition is not associative, and a last-ulp wobble here would leak into
+// probe latencies and profile payloads, breaking bit-for-bit replay.
+// Integer addition is order-independent.
 func (h *Host) cpuDemand() float64 {
-	d := h.extraLoad
+	micro := int64(h.extraLoad*1e6 + 0.5)
 	for _, p := range h.procs {
 		if p.Active() {
-			d += p.CPUDemand
+			micro += int64(p.CPUDemand*1e6 + 0.5)
 		}
 	}
-	return d
+	return float64(micro) * 1e-6
 }
 
 // CPUUtilisation reports overall utilisation in [0,1].
@@ -312,17 +375,20 @@ func (h *Host) RunQueue() int {
 	return int(excess + 0.999)
 }
 
-// MemUsedMB sums resident process memory plus a fixed kernel share.
+// MemUsedMB sums resident process memory plus a fixed kernel share, in
+// integer micro-MB for the same iteration-order independence cpuDemand
+// needs.
 func (h *Host) MemUsedMB() float64 {
 	if h.state != HostUp {
 		return 0
 	}
-	used := float64(h.Model.MemoryMB) * 0.05 // kernel + buffers
+	micro := int64(float64(h.Model.MemoryMB)*0.05*1e6 + 0.5) // kernel + buffers
 	for _, p := range h.procs {
 		if p.HoldsMemory() {
-			used += p.MemMB
+			micro += int64(p.MemMB*1e6 + 0.5)
 		}
 	}
+	used := float64(micro) * 1e-6
 	if used > float64(h.Model.MemoryMB) {
 		used = float64(h.Model.MemoryMB)
 	}

@@ -122,6 +122,22 @@ func (d *Datacentre) Add(h *Host) {
 // Host looks a host up by name, or nil.
 func (d *Datacentre) Host(name string) *Host { return d.hosts[name] }
 
+// Remove deregisters the named host, reporting whether it was present.
+// Site reuse removes the mode-added administration hosts between trials.
+func (d *Datacentre) Remove(name string) bool {
+	if _, ok := d.hosts[name]; !ok {
+		return false
+	}
+	delete(d.hosts, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Hosts returns all hosts in registration order.
 func (d *Datacentre) Hosts() []*Host {
 	out := make([]*Host, 0, len(d.order))

@@ -85,6 +85,14 @@ func NewRegistry(ledger *metrics.Ledger) *Registry {
 	return &Registry{Ledger: ledger, open: make(map[string][]*Fault)}
 }
 
+// Reset drops every live fault, returning the registry to the state
+// NewRegistry gives it. The OnDetected hook is kept: it is wired once per
+// site and survives trial reuse. The ledger is reset separately by its
+// owner.
+func (r *Registry) Reset() {
+	clear(r.open)
+}
+
 // Add registers a live fault and opens its incident.
 func (r *Registry) Add(cat metrics.Category, host, aspect, detail string, humanOnly bool,
 	now simclock.Time, repair func(now simclock.Time) bool) *Fault {

@@ -28,17 +28,11 @@ func (c *CircLog) Max() int { return c.max }
 func (c *CircLog) Path() string { return c.path }
 
 // Append adds a line, discarding the oldest lines once the file exceeds the
-// maximum.
+// maximum. The write is a single in-place capped append on the backing
+// file, not a read-modify-rewrite, so appending stays O(1) amortised
+// whatever the configured length.
 func (c *CircLog) Append(line string) error {
-	lines, err := c.fs.ReadLines(c.path)
-	if err != nil {
-		lines = nil
-	}
-	lines = append(lines, line)
-	if len(lines) > c.max {
-		lines = lines[len(lines)-c.max:]
-	}
-	return c.fs.WriteLines(c.path, lines)
+	return c.fs.AppendLineCapped(c.path, line, c.max)
 }
 
 // Lines returns the current contents, oldest first.

@@ -41,6 +41,7 @@ type Volume struct {
 	dirs     map[string]bool  // cleaned absolute path -> exists
 	stamp    int64
 	readOnly bool
+	spare    *file // last removed file, recycled by the next creation
 }
 
 // NewVolume returns an empty volume containing only the root directory.
@@ -60,10 +61,40 @@ func (v *Volume) SetReadOnly(ro bool) {
 }
 
 func clean(p string) string {
+	if alreadyClean(p) {
+		return p
+	}
 	if !strings.HasPrefix(p, "/") {
 		p = "/" + p
 	}
 	return path.Clean(p)
+}
+
+// alreadyClean reports whether p is already in path.Clean form ("/a/b/c"),
+// the overwhelmingly common case for the fixed agent paths: rooted, no
+// empty, "." or ".." segments, no trailing slash. Skipping path.Clean for
+// these avoids its per-call allocation on every filesystem operation.
+func alreadyClean(p string) bool {
+	if len(p) == 0 || p[0] != '/' {
+		return false
+	}
+	if len(p) == 1 {
+		return true
+	}
+	if p[len(p)-1] == '/' {
+		return false
+	}
+	segStart := 1
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			seg := p[segStart:i]
+			if len(seg) == 0 || seg == "." || seg == ".." {
+				return false
+			}
+			segStart = i + 1
+		}
+	}
+	return true
 }
 
 func (v *Volume) ensureDirs(p string) error {
@@ -94,7 +125,64 @@ func (v *Volume) WriteLines(p string, lines []string) error {
 		return err
 	}
 	v.stamp++
-	v.files[p] = &file{lines: append([]string(nil), lines...), mtime: v.stamp}
+	if f := v.files[p]; f != nil {
+		// Overwrite in place, reusing the file object and, where capacity
+		// allows, its line array — flag files and locks are rewritten every
+		// agent run.
+		f.lines = append(f.lines[:0], lines...)
+		f.mtime = v.stamp
+		return nil
+	}
+	f := v.takeSpare()
+	f.lines = append(f.lines[:0], lines...)
+	f.mtime = v.stamp
+	v.files[p] = f
+	return nil
+}
+
+// takeSpare returns the recycled file object if one is banked, else a new
+// one. Lock and flag files cycle through remove/recreate on every agent
+// run; recycling keeps that cycle allocation-free.
+func (v *Volume) takeSpare() *file {
+	if f := v.spare; f != nil {
+		v.spare = nil
+		return f
+	}
+	return &file{}
+}
+
+// AppendLineCapped appends one line and then discards the oldest lines
+// beyond max, in one pass — the O(1)-amortised primitive circular logs are
+// built on. The resulting content is exactly what AppendLine followed by a
+// trimming WriteLines would leave.
+func (v *Volume) AppendLineCapped(p, line string, max int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	p = clean(p)
+	if v.dirs[p] {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if err := v.ensureDirs(p); err != nil {
+		return err
+	}
+	f := v.files[p]
+	if f == nil {
+		f = v.takeSpare()
+		v.files[p] = f
+	}
+	v.stamp++
+	f.mtime = v.stamp
+	if len(f.lines) >= max && max > 0 {
+		// Shift down in place: the backing array stays at ~max entries, so
+		// appends settle into copy-without-allocate steady state.
+		n := copy(f.lines, f.lines[len(f.lines)-max+1:])
+		f.lines = append(f.lines[:n], line)
+		return nil
+	}
+	f.lines = append(f.lines, line)
 	return nil
 }
 
@@ -114,7 +202,7 @@ func (v *Volume) AppendLine(p, line string) error {
 	}
 	f := v.files[p]
 	if f == nil {
-		f = &file{}
+		f = v.takeSpare()
 		v.files[p] = f
 	}
 	v.stamp++
@@ -165,10 +253,14 @@ func (v *Volume) Remove(p string) error {
 		return ErrReadOnly
 	}
 	p = clean(p)
-	if v.files[p] == nil {
+	f := v.files[p]
+	if f == nil {
 		return fmt.Errorf("%w: %s", ErrNotExist, p)
 	}
 	delete(v.files, p)
+	clear(f.lines)
+	f.lines = f.lines[:0]
+	v.spare = f
 	return nil
 }
 
@@ -226,6 +318,27 @@ func (v *Volume) List(p string) ([]string, error) {
 	return names, nil
 }
 
+// HasFileWithSuffix reports whether directory p directly contains a file
+// whose name ends in suffix — the allocation-free existence probe sweep
+// loops use in place of List. A missing or empty directory reports false.
+func (v *Volume) HasFileWithSuffix(p, suffix string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	prefix := clean(p) + "/"
+	if prefix == "//" {
+		prefix = "/"
+	}
+	for fp := range v.files {
+		if strings.HasPrefix(fp, prefix) {
+			rest := fp[len(prefix):]
+			if !strings.Contains(rest, "/") && strings.HasSuffix(rest, suffix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // RemoveAll deletes every file under directory p (and p itself if it is a
 // file).
 func (v *Volume) RemoveAll(p string) error {
@@ -249,6 +362,19 @@ func (v *Volume) RemoveAll(p string) error {
 	}
 	delete(v.dirs, p)
 	return nil
+}
+
+// Reset wipes the volume back to the state NewVolume returns — no files,
+// only the root directory, stamp zero, writable — while keeping the map
+// storage allocated for reuse.
+func (v *Volume) Reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	clear(v.files)
+	clear(v.dirs)
+	v.dirs["/"] = true
+	v.stamp = 0
+	v.readOnly = false
 }
 
 // FileCount reports the number of files on the volume.
@@ -357,10 +483,33 @@ func (fs *FS) List(p string) ([]string, error) {
 	return v.List(vp)
 }
 
+// HasFileWithSuffix probes through the namespace. See
+// Volume.HasFileWithSuffix.
+func (fs *FS) HasFileWithSuffix(p, suffix string) bool {
+	v, vp := fs.resolve(p)
+	return v.HasFileWithSuffix(vp, suffix)
+}
+
 // RemoveAll removes a subtree through the namespace.
 func (fs *FS) RemoveAll(p string) error {
 	v, vp := fs.resolve(p)
 	return v.RemoveAll(vp)
+}
+
+// AppendLineCapped appends through the namespace with a line cap. See
+// Volume.AppendLineCapped.
+func (fs *FS) AppendLineCapped(p, line string, max int) error {
+	v, vp := fs.resolve(p)
+	return v.AppendLineCapped(vp, line, max)
+}
+
+// Reset wipes the namespace back to the state NewFS returns: the private
+// root volume is emptied (allocation kept) and all mounts are dropped.
+// Shared volumes that were mounted are left untouched — they may be
+// mounted elsewhere; resetting them is their owner's call.
+func (fs *FS) Reset() {
+	fs.root.Reset()
+	fs.mounts = nil
 }
 
 // Touch creates an empty file at p if absent, updating its mtime if

@@ -85,6 +85,7 @@ type Cluster struct {
 	nextID  int
 	running map[string]map[int]*Job // service name -> running jobs
 	pending []*Job
+	targets []string // sorted execution-target names (the limits keys)
 
 	// OnJobFailed, if set, is called whenever a running job fails (the
 	// agents' batch watcher hooks this to resubmit from the DGSPL).
@@ -108,7 +109,29 @@ func NewCluster(sim *simclock.Sim, dir *svc.Directory) *Cluster {
 }
 
 // SetSlotLimit configures the job submission limit for a database server.
-func (c *Cluster) SetSlotLimit(service string, limit int) { c.limits[service] = limit }
+func (c *Cluster) SetSlotLimit(service string, limit int) {
+	if _, known := c.limits[service]; !known {
+		c.targets = append(c.targets, service)
+		sort.Strings(c.targets)
+	}
+	c.limits[service] = limit
+}
+
+// Reset returns the cluster to the state NewCluster leaves it in — no
+// jobs, zeroed counters, unhooked callbacks — while keeping the slot-limit
+// configuration (it is derived from the static site topology) and map
+// storage. Site reuse calls this between trials.
+func (c *Cluster) Reset() {
+	clear(c.jobs)
+	c.order = c.order[:0]
+	c.nextID = 0
+	clear(c.running)
+	c.pending = nil
+	c.OnJobFailed = nil
+	c.OnJobDone = nil
+	c.Completed = 0
+	c.Failed = 0
+}
 
 // SlotLimit reports the limit for a service (0 = not an execution target).
 func (c *Cluster) SlotLimit(service string) int { return c.limits[service] }
@@ -175,12 +198,7 @@ func (c *Cluster) eligible(name string) bool {
 // first eligible target in name order (plain LSF has no knowledge of the
 // DGSPL; the intelliagent path supplies its own choice via Requeue).
 func (c *Cluster) pickServer() string {
-	names := make([]string, 0, len(c.limits))
-	for n := range c.limits {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range c.targets {
 		if c.eligible(n) {
 			return n
 		}

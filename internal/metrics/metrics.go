@@ -98,6 +98,13 @@ type Ledger struct {
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger { return &Ledger{} }
 
+// Reset empties the ledger back to the state NewLedger returns. Site reuse
+// calls this between trials.
+func (l *Ledger) Reset() {
+	l.incidents = l.incidents[:0]
+	l.nextID = 0
+}
+
 // Open records a new incident starting at now.
 func (l *Ledger) Open(cat Category, host, service, detail string, now simclock.Time) *Incident {
 	l.nextID++

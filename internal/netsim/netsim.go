@@ -90,6 +90,16 @@ func (n *Network) SetUp(up bool) { n.up = up }
 // Stats returns cumulative traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Reset returns the network to the state New leaves it in — fabric up, no
+// attachments, zero counters — keeping map storage allocated. Site reuse
+// calls this between trials and re-attaches the skeleton's hosts.
+func (n *Network) Reset() {
+	n.up = true
+	clear(n.handlers)
+	clear(n.linkUp)
+	n.stats = Stats{}
+}
+
 // Attach connects host to the network with its link up. Reattaching
 // replaces the handler but preserves link state.
 func (n *Network) Attach(host string, h Handler) {
@@ -154,7 +164,7 @@ func (n *Network) Send(msg Message) error {
 	if n.jitter > 0 {
 		lat = n.sim.Rand().Jitter(n.latency, n.jitter)
 	}
-	n.sim.After(lat, "netsim:"+n.name+":deliver", func(now simclock.Time) {
+	n.sim.PostAfter(lat, "netsim:"+n.name+":deliver", func(now simclock.Time) {
 		h, ok := n.handlers[msg.To]
 		if !ok || !n.up || !n.linkUp[msg.To] {
 			n.stats.Dropped++

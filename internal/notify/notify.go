@@ -44,6 +44,13 @@ type Bus struct {
 // NewBus returns an empty bus.
 func NewBus(sim *simclock.Sim) *Bus { return &Bus{sim: sim} }
 
+// Reset drops all recorded notifications and subscribers, returning the
+// bus to the state NewBus gives it. Site reuse calls this between trials.
+func (b *Bus) Reset() {
+	b.sent = b.sent[:0]
+	b.subs = nil
+}
+
 // Subscribe registers a callback invoked for every future notification.
 func (b *Bus) Subscribe(fn func(Notification)) { b.subs = append(b.subs, fn) }
 

@@ -51,6 +51,11 @@ type Team struct {
 	escalationP map[metrics.Category]float64
 }
 
+// Reseed replaces the team's random stream — on site reuse the team gets a
+// fresh fork of the reseeded simulation source, exactly as NewTeam would.
+// Timing and escalation configuration are preserved.
+func (t *Team) Reseed(rng *simclock.Rand) { t.rng = rng }
+
 // NewTeam returns a team with the paper's timing and per-category
 // escalation probabilities reflecting each category's repair complexity.
 func NewTeam(rng *simclock.Rand) *Team {

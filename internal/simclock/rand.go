@@ -12,6 +12,10 @@ type Rand struct {
 // NewRand returns a source seeded with seed.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// Reseed rewinds the source to the state NewRand(seed) would give it, so a
+// reused simulation replays the same stream a fresh one would.
+func (r *Rand) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 )
 
@@ -33,9 +34,22 @@ func (t Time) String() string {
 	days := d / (24 * time.Hour)
 	rem := d % (24 * time.Hour)
 	if days > 0 {
-		return fmt.Sprintf("%dd%s", days, rem)
+		return string(t.AppendString(nil))
 	}
 	return rem.String()
+}
+
+// AppendString appends the String form to buf — the allocation-light path
+// log lines use for their timestamp prefix.
+func (t Time) AppendString(buf []byte) []byte {
+	d := time.Duration(t)
+	days := d / (24 * time.Hour)
+	rem := d % (24 * time.Hour)
+	if days > 0 {
+		buf = strconv.AppendInt(buf, int64(days), 10)
+		buf = append(buf, 'd')
+	}
+	return append(buf, rem.String()...)
 }
 
 // Duration converts a simulated time to a time.Duration since epoch.
@@ -72,6 +86,7 @@ type Event struct {
 	index    int    // heap index, -1 when not queued
 	fn       func(now Time)
 	canceled bool
+	pooled   bool // recycled into the Sim freelist after firing (Post events)
 	label    string
 }
 
@@ -130,12 +145,31 @@ type Sim struct {
 	rng     *Rand
 	fired   uint64
 	stopped bool
+	free    []*Event // recycled Post events; never handed out as handles
 }
 
 // New returns a simulator at time zero whose random source is seeded with
 // seed.
 func New(seed uint64) *Sim {
 	return &Sim{rng: NewRand(seed)}
+}
+
+// Reset rewinds the simulator to a fresh state at time zero with the given
+// seed: the event queue is emptied, the fired/sequence counters restart and
+// the random source is reseeded. Allocated capacity (queue backing array,
+// event freelist) is retained, which is the point — a reset Sim behaves
+// exactly like New(seed) but without rebuilding its working set.
+func (s *Sim) Reset(seed uint64) {
+	for i := range s.queue {
+		s.queue[i].index = -1
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+	s.rng.Reseed(seed)
 }
 
 // Now reports the current simulated time.
@@ -168,6 +202,56 @@ func (s *Sim) After(d Time, label string, fn func(now Time)) *Event {
 	return s.Schedule(s.now+d, label, fn)
 }
 
+// Post queues fn to run at absolute time at without returning a handle.
+// Because the event can never be cancelled from outside, the Sim recycles
+// its Event allocation after firing — hot paths that schedule and forget
+// (message delivery, process reaping) should prefer Post over Schedule.
+// Semantics are otherwise identical to Schedule, including the FIFO
+// tie-break and the past-scheduling panic.
+func (s *Sim) Post(at Time, label string, fn func(now Time)) {
+	if at < s.now {
+		panic(fmt.Sprintf("simclock: post %q at %v before now %v", label, at, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.canceled = false
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.at, e.fn, e.label = at, fn, label
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// PostAfter queues fn to run d after the current time, like Post.
+func (s *Sim) PostAfter(d Time, label string, fn func(now Time)) {
+	s.Post(s.now+d, label, fn)
+}
+
+// release returns a fired pooled event to the freelist.
+func (s *Sim) release(e *Event) {
+	e.fn = nil
+	s.free = append(s.free, e)
+}
+
+// reschedule re-queues a fired (or never-queued) event at a new time with a
+// fresh FIFO sequence number — the allocation-free path repeating timers
+// use. The event must not be in the queue.
+func (s *Sim) reschedule(e *Event, at Time) {
+	if at < s.now {
+		panic(fmt.Sprintf("simclock: reschedule %q at %v before now %v", e.label, at, s.now))
+	}
+	e.at = at
+	e.canceled = false
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
 // Every schedules fn to run first at start and then every period thereafter
 // until the returned Ticker is stopped. A period of zero or less panics.
 func (s *Sim) Every(start, period Time, label string, fn func(now Time)) *Ticker {
@@ -197,7 +281,10 @@ func (t *Ticker) fire(now Time) {
 	if t.stopped { // fn may stop its own ticker
 		return
 	}
-	t.ev = t.sim.Schedule(now+t.period, t.label, t.fire)
+	// Reuse the just-fired event: t.ev is the event this callback belongs
+	// to, already popped from the queue, and its handle never escapes the
+	// ticker, so re-queueing it is safe and allocation-free.
+	t.sim.reschedule(t.ev, now+t.period)
 }
 
 // Stop cancels future ticks. It is safe to call from within the tick
@@ -228,7 +315,11 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.at
 		s.fired++
-		e.fn(s.now)
+		fn := e.fn
+		if e.pooled {
+			s.release(e)
+		}
+		fn(s.now)
 		return true
 	}
 	return false
@@ -252,7 +343,11 @@ func (s *Sim) RunUntil(end Time) {
 		heap.Pop(&s.queue)
 		s.now = e.at
 		s.fired++
-		e.fn(s.now)
+		fn := e.fn
+		if e.pooled {
+			s.release(e)
+		}
+		fn(s.now)
 	}
 	if !s.stopped && s.now < end {
 		s.now = end

@@ -1,0 +1,164 @@
+package simclock
+
+// Wheel is a coalesced cron scheduler: entries that share a (first-fire,
+// period) coordinate are grouped into one bucket backed by a single
+// repeating heap event that walks its entries in registration order. A site
+// with hundreds of agents on the same cron keeps one pending event per
+// distinct schedule instead of one per agent, and every bucket reuses its
+// Event allocation across ticks.
+//
+// Semantics match scheduling each entry with Sim.Every individually:
+// entries in a bucket fire in FIFO registration order (exactly the
+// tie-break the event heap would apply to individually scheduled events),
+// a stopped entry never fires again, and a bucket whose entries have all
+// stopped cancels its pending event.
+//
+// One caveat bounds the equivalence: a bucket walks all its entries
+// back-to-back, so when a coordinate's registrations are *interleaved*
+// with other same-instant work, per-entry tickers would interleave the
+// callbacks where the wheel batches them. Registrations that share a
+// coordinate must therefore be contiguous for bit-identical replay — which
+// they are in practice, since sites draw each agent's phase from a
+// continuous distribution (coordinates only ever collide by construction,
+// never by chance) and deploy agent by agent. The property tests pin
+// exactly this contract.
+type Wheel struct {
+	sim     *Sim
+	buckets map[wheelKey]*bucket
+}
+
+type wheelKey struct {
+	start  Time // absolute first-fire time
+	period Time
+}
+
+// bucket is one (start, period) coordinate's shared repeating event.
+type bucket struct {
+	wheel   *Wheel
+	key     wheelKey
+	entries []*CronEntry
+	live    int // entries not yet stopped
+	ev      *Event
+	walking bool // inside fire: defer compaction until the walk ends
+}
+
+// CronEntry is one registered callback on a wheel.
+type CronEntry struct {
+	b       *bucket
+	fn      func(now Time)
+	label   string
+	stopped bool
+}
+
+// NewWheel returns an empty wheel scheduling on sim.
+func NewWheel(sim *Sim) *Wheel {
+	return &Wheel{sim: sim, buckets: make(map[wheelKey]*bucket)}
+}
+
+// Add registers fn to run first at absolute time start and then every
+// period, sharing a bucket with every other entry on the same (start,
+// period) coordinate. A non-positive period panics, as does a start in the
+// past — the same contract as Sim.Every. The label is diagnostic.
+func (w *Wheel) Add(start, period Time, label string, fn func(now Time)) *CronEntry {
+	if period <= 0 {
+		panic("simclock: non-positive wheel period for " + label)
+	}
+	if start < w.sim.Now() {
+		panic("simclock: wheel start in the past for " + label)
+	}
+	key := wheelKey{start: start, period: period}
+	b := w.buckets[key]
+	if b == nil {
+		b = &bucket{wheel: w, key: key}
+		b.ev = w.sim.Schedule(start, "cron-wheel", b.fire)
+		w.buckets[key] = b
+	}
+	e := &CronEntry{b: b, fn: fn, label: label}
+	b.entries = append(b.entries, e)
+	b.live++
+	return e
+}
+
+// Len reports the number of live (unstopped) entries on the wheel.
+func (w *Wheel) Len() int {
+	n := 0
+	for _, b := range w.buckets {
+		n += b.live
+	}
+	return n
+}
+
+// Buckets reports the number of distinct (start, period) buckets with a
+// pending event — the coalescing factor Len()/Buckets() is the win over
+// per-entry tickers.
+func (w *Wheel) Buckets() int { return len(w.buckets) }
+
+// fire walks the bucket's entries in registration order, then re-queues the
+// bucket's (reused) event one period on. Entries stopped during the walk —
+// including by their own callback — do not fire again.
+func (b *bucket) fire(now Time) {
+	b.walking = true
+	for _, e := range b.entries {
+		if !e.stopped {
+			e.fn(now)
+		}
+	}
+	b.walking = false
+	b.compact()
+	if b.live == 0 {
+		delete(b.wheel.buckets, b.key)
+		return
+	}
+	// The key keeps the original start so entries added later for the same
+	// (start, period) coordinate join this bucket rather than forking a
+	// drifting duplicate; the next fire is period from now regardless.
+	b.wheel.sim.reschedule(b.ev, now+b.key.period)
+}
+
+// compact drops stopped entries, preserving registration order.
+func (b *bucket) compact() {
+	if b.live == len(b.entries) {
+		return
+	}
+	kept := b.entries[:0]
+	for _, e := range b.entries {
+		if !e.stopped {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(b.entries); i++ {
+		b.entries[i] = nil
+	}
+	b.entries = kept
+}
+
+// Stop deactivates the entry: it never fires again. Stopping the last live
+// entry of a bucket cancels the bucket's pending event (mid-walk, the walk
+// finishes first). Stop is idempotent and safe to call from the entry's own
+// callback.
+func (e *CronEntry) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	b := e.b
+	b.live--
+	if b.walking {
+		return // fire() compacts and handles an emptied bucket
+	}
+	if b.live == 0 {
+		b.ev.Cancel()
+		delete(b.wheel.buckets, b.key)
+		return
+	}
+	b.compact()
+}
+
+// Stopped reports whether the entry has been stopped.
+func (e *CronEntry) Stopped() bool { return e.stopped }
+
+// Label reports the entry's diagnostic label.
+func (e *CronEntry) Label() string { return e.label }
+
+// Period reports the entry's period.
+func (e *CronEntry) Period() Time { return e.b.key.period }

@@ -70,7 +70,7 @@ func (s *Service) Probe() ProbeResult {
 		return ProbeResult{ExitCode: ExitTimeout, Latency: timeout,
 			Detail: fmt.Sprintf("%q exceeded timeout (%v > %v)", s.Spec.Kind.ProbeCommand(), lat, timeout)}
 	}
-	if len(s.MissingProcs()) > 0 {
+	if !s.AllProcsPresent() {
 		// Connected, but the command fails against a partially-dead
 		// service (e.g. the listener is up but a required component died).
 		return ProbeResult{ExitCode: ExitError, Latency: lat,
@@ -84,10 +84,13 @@ func (s *Service) Probe() ProbeResult {
 type Directory struct {
 	byName map[string]*Service
 	order  []string
+	byHost map[string][]*Service // registration-order index, built on Add
 }
 
 // NewDirectory returns an empty directory.
-func NewDirectory() *Directory { return &Directory{byName: make(map[string]*Service)} }
+func NewDirectory() *Directory {
+	return &Directory{byName: make(map[string]*Service), byHost: make(map[string][]*Service)}
+}
 
 // Add registers a service; duplicates panic (a configuration bug).
 func (d *Directory) Add(s *Service) {
@@ -96,6 +99,7 @@ func (d *Directory) Add(s *Service) {
 	}
 	d.byName[s.Spec.Name] = s
 	d.order = append(d.order, s.Spec.Name)
+	d.byHost[s.Host.Name] = append(d.byHost[s.Host.Name], s)
 }
 
 // Get looks a service up by name, or nil.
@@ -110,15 +114,12 @@ func (d *Directory) All() []*Service {
 	return out
 }
 
-// OnHost returns the services bound to the named host.
+// OnHost returns the services bound to the named host, in registration
+// order. The slice is the directory's cached per-host index — hot paths
+// (status agents build a DLSP from it every cron run) call this constantly,
+// so it is served without allocating; callers must not mutate it.
 func (d *Directory) OnHost(host string) []*Service {
-	var out []*Service
-	for _, s := range d.All() {
-		if s.Host.Name == host {
-			out = append(out, s)
-		}
-	}
-	return out
+	return d.byHost[host]
 }
 
 // ByKind returns services of the given kind.

@@ -220,7 +220,7 @@ func (s *Service) Start(onRunning func(now simclock.Time)) error {
 			s.pids = append(s.pids, p.PID)
 		}
 	}
-	s.sim.After(s.Spec.StartupTime, "svc-start:"+s.Spec.Name, func(now simclock.Time) {
+	s.sim.PostAfter(s.Spec.StartupTime, "svc-start:"+s.Spec.Name, func(now simclock.Time) {
 		if s.state != StateStarting || !s.Host.Up() {
 			return
 		}
@@ -324,11 +324,36 @@ func (s *Service) reapProcs() {
 func (s *Service) MissingProcs() []string {
 	var missing []string
 	for _, c := range s.Spec.Components {
-		if len(s.Host.PGrep(c.ProcName)) < c.Count {
+		if s.Host.CountProcs(c.ProcName) < c.Count {
 			missing = append(missing, c.ProcName)
 		}
 	}
 	return missing
+}
+
+// AllProcsPresent reports whether every component has its expected process
+// count — the allocation-free check probes use before the more detailed
+// MissingProcs.
+func (s *Service) AllProcsPresent() bool {
+	for _, c := range s.Spec.Components {
+		if s.Host.CountProcs(c.ProcName) < c.Count {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset returns the service to the state New leaves it in — stopped, no
+// processes, counters zeroed, corruption cleared. Site reuse calls this
+// between trials; the host's process table is reset separately.
+func (s *Service) Reset() {
+	s.state = StateStopped
+	s.pids = nil
+	s.startedAt = 0
+	s.conns = 0
+	s.Wedged = false
+	s.Crashes = 0
+	s.Restarts = 0
 }
 
 // PIDs returns the service's process IDs.

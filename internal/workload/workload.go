@@ -98,6 +98,18 @@ func New(sim *simclock.Sim, cfg Config, dc *cluster.Datacentre, dir *svc.Directo
 // semantics.
 func (g *Generator) Config() Config { return g.cfg }
 
+// Reset returns the generator to the state New leaves it in, drawing a
+// fresh stream fork exactly as New does. The caller passes the reseeded
+// simulation's Rand; the fork label matches New so a reset generator
+// replays the same submissions a fresh one would. Site reuse calls this
+// between trials, then Start begins load generation anew.
+func (g *Generator) Reset(parent *simclock.Rand) {
+	g.rng = parent.Fork(0x301d)
+	g.jobSeq = 0
+	g.JobsSubmitted = 0
+	g.tickers = nil
+}
+
 // Start begins offering load: interactive ambience refreshed every 15
 // minutes, day batch submissions hourly-ish, the overnight drop at 22:00,
 // and constant feed load.

@@ -71,6 +71,12 @@ type Options struct {
 	NoBatchRescue bool
 	// OperatorTiming overrides the manual-operations constants (ablation).
 	OperatorTiming *operators.Timing
+	// ReferenceScheduler wires each agent's cron as its own heap ticker
+	// instead of the coalesced wheel — the seed scheduling path. Simulated
+	// behaviour is identical either way (the equivalence tests gate this);
+	// the reference path exists so the gate has something independent to
+	// compare the optimised engine against.
+	ReferenceScheduler bool
 }
 
 // Option is a functional scenario option for NewSite.
@@ -112,6 +118,10 @@ func WithoutBatchRescue() Option { return func(o *Options) { o.NoBatchRescue = t
 
 // WithOperatorTiming overrides the manual-operations timing constants.
 func WithOperatorTiming(t operators.Timing) Option { return func(o *Options) { o.OperatorTiming = &t } }
+
+// WithReferenceScheduler selects the per-agent ticker scheduling path that
+// the coalesced cron wheel is equivalence-tested against.
+func WithReferenceScheduler() Option { return func(o *Options) { o.ReferenceScheduler = true } }
 
 // WithOptions replaces the whole Options struct — the bridge for callers
 // (like campaign trials) that assemble an Options value directly and

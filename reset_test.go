@@ -1,0 +1,113 @@
+package qoscluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// TestSiteResetMatchesFreshBuild is the unit-level reuse gate: a site that
+// ran one trial, was Reset to a new seed and ran again must report exactly
+// what a freshly built site with that seed reports — in both operation
+// modes, and after a chain of resets.
+func TestSiteResetMatchesFreshBuild(t *testing.T) {
+	const span = 2 * simclock.Day
+	for _, mode := range []Mode{ModeManual, ModeAgents} {
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			fresh, err := NewSite(SmallTopology(), WithSeed(41), WithMode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Run(span); err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Report()
+			wantFired := fresh.Sim.Fired()
+			wantNet := fresh.Public.Stats()
+
+			reused, err := NewSite(SmallTopology(), WithSeed(7), WithMode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Run(span); err != nil {
+				t.Fatal(err)
+			}
+			// Two resets in a row: seed 7 → 99 → 41. The 41 run must be
+			// indistinguishable from the fresh 41 build.
+			for _, seed := range []uint64{99, 41} {
+				if err := reused.Reset(seed); err != nil {
+					t.Fatalf("Reset(%d): %v", seed, err)
+				}
+				if err := reused.Run(span); err != nil {
+					t.Fatalf("Run after Reset(%d): %v", seed, err)
+				}
+			}
+			if got := reused.Report(); !reflect.DeepEqual(got, want) {
+				t.Errorf("report after Reset chain diverged from fresh build:\n got: %+v\nwant: %+v", got, want)
+			}
+			if got := reused.Sim.Fired(); got != wantFired {
+				t.Errorf("fired events after Reset = %d, fresh build = %d", got, wantFired)
+			}
+			if got := reused.Public.Stats(); got != wantNet {
+				t.Errorf("public network stats after Reset = %+v, fresh build = %+v", got, wantNet)
+			}
+		})
+	}
+}
+
+// TestSiteRunGuards pins the Run contract: strictly increasing advances
+// succeed, re-running spent event state errors contextually, and Reset
+// rewinds the guard.
+func TestSiteRunGuards(t *testing.T) {
+	site, err := NewSite(SmallTopology(), WithSeed(3), WithNoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Run(simclock.Hour); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := site.Run(simclock.Hour); err == nil {
+		t.Fatal("double Run(1h) succeeded; want a contextual error")
+	} else if !strings.Contains(err.Error(), "already ran to") {
+		t.Fatalf("double Run error = %q, want it to name the spent state", err)
+	}
+	if err := site.Run(30 * simclock.Minute); err == nil {
+		t.Fatal("backwards Run succeeded; want an error")
+	}
+	if err := site.Run(2 * simclock.Hour); err != nil {
+		t.Fatalf("incremental Run: %v", err)
+	}
+	if err := site.Reset(4); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if err := site.Run(simclock.Hour); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+}
+
+// TestSiteRunReentrancyGuards pins the in-callback protection: Run and
+// Reset invoked from inside a running event callback fail with a
+// contextual error instead of corrupting the event loop.
+func TestSiteRunReentrancyGuards(t *testing.T) {
+	site, err := NewSite(SmallTopology(), WithSeed(3), WithNoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runErr, resetErr error
+	site.Sim.After(simclock.Hour, "reenter", func(simclock.Time) {
+		runErr = site.Run(2 * simclock.Hour)
+		resetErr = site.Reset(9)
+	})
+	if err := site.Run(simclock.Day); err != nil {
+		t.Fatalf("outer Run: %v", err)
+	}
+	if runErr == nil || !strings.Contains(runErr.Error(), "re-entered") {
+		t.Errorf("re-entrant Run error = %v, want a re-entry error", runErr)
+	}
+	if resetErr == nil || !strings.Contains(resetErr.Error(), "inside an event callback") {
+		t.Errorf("mid-run Reset error = %v, want an in-callback error", resetErr)
+	}
+}

@@ -9,11 +9,14 @@
 //
 // Two input formats are auto-detected:
 //
-//   - `go test -bench` text (e.g. bench.txt, bench-agentday.txt): ns/op
-//     is compared per benchmark; a benchmark slower than the old point
-//     by more than -threshold (default 20%) fails the gate. With
-//     -count > 1 the best (minimum) ns/op per name is used, which
-//     filters scheduler noise.
+//   - `go test -bench` text (e.g. bench.txt, bench-agentday.txt): ns/op —
+//     and, when both artifacts carry -benchmem columns, allocs/op — are
+//     compared per benchmark; either quantity regressing past -threshold
+//     (default 20%) fails the gate. With -count > 1 the best (minimum)
+//     value per name is used, which filters scheduler noise. With
+//     -improvement F the gate additionally demands NEW be at least F times
+//     faster than OLD — the speedup-proof mode `make perf-proof` runs
+//     against the checked-in seed artifact.
 //
 //   - campaign JSON records (*.json, e.g. campaign-smoke.json): per-group
 //     metric means are compared and drifts beyond the threshold are
@@ -39,6 +42,7 @@ import (
 var (
 	threshold = flag.Float64("threshold", 0.20, "relative regression that fails the gate (0.20 = +20%)")
 	failDrift = flag.Bool("fail", false, "fail on campaign-JSON metric drift too (default: report only)")
+	improve   = flag.Float64("improvement", 0, "require NEW ns/op <= OLD/F for every common benchmark (0 = off); the speedup-proof mode against a checked-in seed artifact")
 )
 
 func main() {
@@ -63,7 +67,7 @@ func main() {
 			regressions = nil
 		}
 	} else {
-		regressions, err = diffBench(oldPath, newPath, *threshold)
+		regressions, err = diffBench(oldPath, newPath, *threshold, *improve)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -79,17 +83,26 @@ func main() {
 	fmt.Println("benchdiff: OK")
 }
 
-// benchLine matches `go test -bench` result lines, e.g.
-// "BenchmarkAgentDay-8   3   123456789 ns/op   42 B/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches `go test -bench` result lines, with the optional
+// -benchmem columns, e.g.
+// "BenchmarkAgentDay-8   3   123456789 ns/op   42 B/op   7 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// parseBench returns the best (minimum) ns/op per benchmark name.
-func parseBench(path string) (map[string]float64, error) {
+// benchPoint is one benchmark's best observed measurements. Allocs < 0
+// means the artifact predates -benchmem and carries no allocation data.
+type benchPoint struct {
+	ns     float64
+	allocs float64
+}
+
+// parseBench returns the best (minimum) ns/op and allocs/op per benchmark
+// name; with -count > 1 the minimum filters scheduler noise.
+func parseBench(path string) (map[string]benchPoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	best := map[string]float64{}
+	best := map[string]benchPoint{}
 	for _, line := range strings.Split(string(data), "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -99,9 +112,24 @@ func parseBench(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		if old, ok := best[m[1]]; !ok || ns < old {
-			best[m[1]] = ns
+		allocs := -1.0
+		if m[4] != "" {
+			if a, err := strconv.ParseFloat(m[4], 64); err == nil {
+				allocs = a
+			}
 		}
+		cur, seen := best[m[1]]
+		if !seen {
+			best[m[1]] = benchPoint{ns: ns, allocs: allocs}
+			continue
+		}
+		if ns < cur.ns {
+			cur.ns = ns
+		}
+		if allocs >= 0 && (cur.allocs < 0 || allocs < cur.allocs) {
+			cur.allocs = allocs
+		}
+		best[m[1]] = cur
 	}
 	if len(best) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)
@@ -109,20 +137,23 @@ func parseBench(path string) (map[string]float64, error) {
 	return best, nil
 }
 
-// diffBench compares ns/op per benchmark, printing the comparison table
-// and returning the regressions beyond the threshold.
-func diffBench(oldPath, newPath string, threshold float64) ([]string, error) {
-	oldNs, err := parseBench(oldPath)
+// diffBench compares ns/op and allocs/op per benchmark, printing the
+// comparison table and returning the regressions beyond the threshold.
+// Allocation data is gated only when both artifacts carry it. With
+// improvement > 0 a benchmark additionally fails unless its new ns/op is
+// at least that factor better than the old point.
+func diffBench(oldPath, newPath string, threshold, improvement float64) ([]string, error) {
+	oldB, err := parseBench(oldPath)
 	if err != nil {
 		return nil, err
 	}
-	newNs, err := parseBench(newPath)
+	newB, err := parseBench(newPath)
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, 0, len(newNs))
-	for name := range newNs {
-		if _, ok := oldNs[name]; ok {
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		if _, ok := oldB[name]; ok {
 			names = append(names, name)
 		}
 	}
@@ -131,13 +162,27 @@ func diffBench(oldPath, newPath string, threshold float64) ([]string, error) {
 	}
 	sort.Strings(names)
 	var regressions []string
-	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-32s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, name := range names {
-		o, n := oldNs[name], newNs[name]
-		delta := (n - o) / o
-		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%%\n", name, o, n, delta*100)
+		o, n := oldB[name], newB[name]
+		delta := (n.ns - o.ns) / o.ns
+		allocCols := fmt.Sprintf("%12s %12s %8s", "-", "-", "-")
+		if o.allocs >= 0 && n.allocs >= 0 {
+			ad := (n.allocs - o.allocs) / o.allocs
+			allocCols = fmt.Sprintf("%12.0f %12.0f %+7.1f%%", o.allocs, n.allocs, ad*100)
+			if ad > threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f → %.0f allocs/op (%+.1f%%)", name, o.allocs, n.allocs, ad*100))
+			}
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %s\n", name, o.ns, n.ns, delta*100, allocCols)
 		if delta > threshold {
-			regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", name, o, n, delta*100))
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", name, o.ns, n.ns, delta*100))
+		}
+		if improvement > 0 && n.ns > o.ns/improvement {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f → %.0f ns/op is only %.2fx, want >= %.2fx", name, o.ns, n.ns, o.ns/n.ns, improvement))
 		}
 	}
 	return regressions, nil
