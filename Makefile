@@ -56,11 +56,15 @@ campaign-smoke:
 
 # Site-axis smoke: one campaign sweeping the paper site, the scaled site
 # and the checked-in custom-topology JSON fixture, plus a single run
-# driven straight off the fixture file.
+# driven straight off the fixture file, plus a campaign over the per-tier
+# workload/fault-spec fixture sweeping the tier-fault-intensity axis.
 topology-smoke:
 	$(GO) run ./cmd/qossim campaign -trials 2 -workers 4 -days 2 -seed 7 \
 		-site paper,small,testdata/topology-edge.json -out topology-smoke.json before
 	$(GO) run ./cmd/qossim -days 2 -trials 2 -site testdata/topology-edge.json after
+	$(GO) run ./cmd/qossim campaign -trials 2 -workers 4 -days 2 -seed 7 \
+		-site testdata/topology-tiers.json -tierfaults ';cache=2' \
+		-out tiers-smoke.json before
 
 # Compare two bench data points (fails on >20% ns/op regression):
 #   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
@@ -86,4 +90,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json bench.txt bench-agentday.txt bench-proof.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json bench.txt bench-agentday.txt bench-proof.txt

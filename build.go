@@ -2,6 +2,9 @@ package qoscluster
 
 import (
 	"fmt"
+	"maps"
+	"math"
+	"slices"
 
 	"repro/internal/adminsrv"
 	"repro/internal/agent"
@@ -42,7 +45,8 @@ type Site struct {
 	Monitors []*baseline.Monitor
 	Agents   []*agent.Agent
 
-	dbServices []string // LSF execution targets, in deployment order
+	dbServices []string          // LSF execution targets, in deployment order
+	tierOf     map[string]string // host name -> topology tier name
 	started    bool
 	deployErr  error // sticky first-Run deployment failure
 
@@ -68,6 +72,9 @@ func NewSite(topo Topology, opts ...Option) (*Site, error) {
 // BuildSite wrapper.
 func newSite(topo Topology, opts Options) (*Site, error) {
 	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("topology %q: %w", topo.Name, err)
+	}
+	if err := validateTierOverrides(topo, opts); err != nil {
 		return nil, fmt.Errorf("topology %q: %w", topo.Name, err)
 	}
 	if opts.CronPeriod <= 0 {
@@ -113,8 +120,105 @@ func (s *Site) attach(h *cluster.Host) {
 	}
 }
 
+// validateTierOverrides vets the per-tier option overrides against the
+// topology: every named tier must exist, override specs must pass the
+// same validation as topology-declared ones, and intensity scales must
+// be finite and non-negative. Tier names are checked in sorted order so
+// a multi-error option set always reports the same first problem.
+func validateTierOverrides(topo Topology, opts Options) error {
+	tiers := map[string]bool{}
+	for _, t := range topo.Tiers {
+		tiers[t.Name] = true
+	}
+	check := func(kind string, names []string) error {
+		for _, name := range names {
+			if !tiers[name] {
+				return fmt.Errorf("%s override names unknown tier %q", kind, name)
+			}
+		}
+		return nil
+	}
+	wl := slices.Sorted(maps.Keys(opts.TierWorkloads))
+	if err := check("tier-workload", wl); err != nil {
+		return err
+	}
+	for _, name := range wl {
+		ws := opts.TierWorkloads[name]
+		if err := ws.validate(name); err != nil {
+			return err
+		}
+	}
+	fl := slices.Sorted(maps.Keys(opts.TierFaults))
+	if err := check("tier-faults", fl); err != nil {
+		return err
+	}
+	for _, name := range fl {
+		fs := opts.TierFaults[name]
+		if err := fs.validate(name); err != nil {
+			return err
+		}
+	}
+	sl := slices.Sorted(maps.Keys(opts.TierFaultScale))
+	if err := check("tier-fault-scale", sl); err != nil {
+		return err
+	}
+	for _, name := range sl {
+		if scale := opts.TierFaultScale[name]; math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+			return fmt.Errorf("tier-fault-scale for %q is %v (want a finite multiplier >= 0)", name, scale)
+		}
+	}
+	return nil
+}
+
+// resolvedWorkload returns the effective workload spec for a tier: the
+// functional-option override wins, else the topology's, else nil.
+func (s *Site) resolvedWorkload(tier Tier) *WorkloadSpec {
+	if ws, ok := s.Opts.TierWorkloads[tier.Name]; ok {
+		return &ws
+	}
+	return tier.Workload
+}
+
+// resolvedFaults returns the effective fault spec for a tier, with the
+// same override-wins precedence.
+func (s *Site) resolvedFaults(tier Tier) *FaultsSpec {
+	if fs, ok := s.Opts.TierFaults[tier.Name]; ok {
+		return &fs
+	}
+	return tier.Faults
+}
+
+// Tiered reports whether any per-tier workload or fault domain is in
+// play — from the topology or from option overrides. Untiered sites run
+// the pre-domain single-global-domain paths, byte-identically.
+func (s *Site) Tiered() bool {
+	if len(s.Opts.TierFaultScale) > 0 {
+		return true
+	}
+	for _, tier := range s.Topo.Tiers {
+		if s.resolvedWorkload(tier) != nil || s.resolvedFaults(tier) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// TierNames lists the topology's tiers in declaration order.
+func (s *Site) TierNames() []string {
+	names := make([]string, len(s.Topo.Tiers))
+	for i, tier := range s.Topo.Tiers {
+		names[i] = tier.Name
+	}
+	return names
+}
+
+// TierOf maps a host name to its topology tier ("" for the mode-added
+// administration hosts).
+func (s *Site) TierOf(host string) string { return s.tierOf[host] }
+
 // buildHosts realises every tier's hosts in declaration order.
 func (s *Site) buildHosts() error {
+	s.tierOf = make(map[string]string)
 	for _, tier := range s.Topo.Tiers {
 		role, err := roleFor(tier.Role)
 		if err != nil {
@@ -125,6 +229,7 @@ func (s *Site) buildHosts() error {
 				tier.hardwareFor(i), role, s.Topo.Name, s.Topo.Geo)
 			s.DC.Add(h)
 			s.attach(h)
+			s.tierOf[h.Name] = tier.Name
 		}
 	}
 	return nil
@@ -201,6 +306,46 @@ func (s *Site) buildLSF() {
 		s.LSF.SetSlotLimit(name, sv.Host.Model.CPUs/2+2)
 	}
 	s.Gen = workload.New(s.Sim, s.workloadConfig(), s.DC, s.Dir, s.LSF, s.dbServices)
+	if tiers := s.workloadDomains(); tiers != nil {
+		s.Gen.SetDomains(s.tierOf, tiers)
+	}
+}
+
+// workloadDomains compiles the per-tier workload specs into generator
+// coefficients, or nil when no tier declares one — the generator then
+// keeps its single global domain, byte-identical to the pre-domain
+// behaviour.
+func (s *Site) workloadDomains() map[string]workload.TierLoad {
+	any := false
+	for _, tier := range s.Topo.Tiers {
+		if s.resolvedWorkload(tier) != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	tiers := make(map[string]workload.TierLoad, len(s.Topo.Tiers))
+	for _, tier := range s.Topo.Tiers {
+		tl := workload.DefaultTierLoad()
+		if ws := s.resolvedWorkload(tier); ws != nil {
+			if ws.AnalystShare != nil {
+				tl.Share = *ws.AnalystShare
+			}
+			if ws.BatchIntensity != nil {
+				tl.Batch = *ws.BatchIntensity
+			}
+			if ws.FeedWeight != nil {
+				tl.Feed = *ws.FeedWeight
+			}
+			if ws.DiurnalAmplitude != nil {
+				tl.Amp = *ws.DiurnalAmplitude
+			}
+		}
+		tiers[tier.Name] = tl
+	}
+	return tiers
 }
 
 // workloadConfig resolves the offered load: an Options.Workload override

@@ -6,7 +6,7 @@
 //	qossim [-seed N] [-days D] [-site LIST] [-trials N] [-workers W] <scenario>
 //	qossim campaign [-scenario NAME] [-trials N] [-workers W] [-seed N]
 //	                [-days D] [-site LIST] [-cron LIST] [-ablate LIST]
-//	                [-json] [-out FILE] [<name>]
+//	                [-tierfaults CELLS] [-json] [-out FILE] [<name>]
 //
 // -site takes a comma-separated list of site topologies: registered names
 // (paper, small, webfarm, computefarm, or anything registered with
@@ -37,7 +37,10 @@
 // latency, mttr, ablate-cron, ablate-rescue, ablate-net, ablate-resident.
 // -cron overrides the ablate-cron period axis (e.g. -cron 1m,5m,15m,60m);
 // -ablate cron,rescue,net,resident (or "all") runs several ablation
-// campaigns back to back, emitting a JSON array under -json.
+// campaigns back to back, emitting a JSON array under -json; -tierfaults
+// sweeps per-tier fault intensity as a matrix axis on the site scenarios
+// (semicolon-separated cells, each a tier=mult[,tier=mult] spec — e.g.
+// -tierfaults ';web=4' pairs the unscaled default against web at 4x).
 package main
 
 import (
@@ -99,6 +102,7 @@ func runCampaign(args []string) {
 	days := fs.Int("days", 0, "simulated days per trial (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
 	site := fs.String("site", "small", "comma-separated site topologies to sweep: registered names and/or topology JSON files")
 	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
+	tierFaults := fs.String("tierfaults", "", "per-tier fault-intensity axis for site scenarios: semicolon-separated cells, each a tier=mult[,tier=mult] spec or empty for the default (e.g. ';web=2;web=0.5')")
 	ablate := fs.String("ablate", "", "run ablation campaigns back to back: comma list of cron,rescue,net,resident, or all")
 	jsonOut := fs.Bool("json", false, "print the machine-readable campaign JSON instead of tables")
 	outFile := fs.String("out", "", "also write the campaign JSON to this file")
@@ -115,6 +119,15 @@ func runCampaign(args []string) {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site)}
+	if *tierFaults != "" {
+		// Semicolons separate axis cells so one cell can itself be a
+		// comma list; a leading/lone ';' contributes the unscaled default
+		// cell. Specs are validated per scenario by CampaignMatrix.
+		cfg.TierFaultScales = strings.Split(*tierFaults, ";")
+		for i := range cfg.TierFaultScales {
+			cfg.TierFaultScales[i] = strings.TrimSpace(cfg.TierFaultScales[i])
+		}
+	}
 	if *cron != "" {
 		periods, err := parsePeriods(*cron)
 		if err != nil {

@@ -1,0 +1,49 @@
+// Tierdomains: run the shipped webfarm — whose tiers carry real per-tier
+// workload and fault domains — for a quarter, print the per-tier downtime
+// breakdown, then re-run the same seed with the web tier's fault
+// intensity quadrupled (WithTierFaultScale, the knob the campaign's
+// -tierfaults axis sweeps) and show where the extra incidents landed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qoscluster "repro"
+	"repro/internal/simclock"
+)
+
+func main() {
+	const (
+		seed = 7
+		span = 90 * simclock.Day
+	)
+	run := func(opts ...qoscluster.Option) *qoscluster.Site {
+		site, err := qoscluster.NewSite(qoscluster.WebFarmTopology(),
+			append([]qoscluster.Option{
+				qoscluster.WithSeed(seed),
+				qoscluster.WithMode(qoscluster.ModeAgents),
+			}, opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := site.Run(span); err != nil {
+			log.Fatal(err)
+		}
+		return site
+	}
+
+	baseline := run()
+	fmt.Println("webfarm, one quarter, shipped per-tier domains:")
+	fmt.Print(baseline.Report().Format())
+
+	scaled := run(qoscluster.WithTierFaultScale("web", 4))
+	fmt.Println("\nsame seed with the web tier's fault weight x4:")
+	fmt.Print(scaled.Report().Format())
+
+	fmt.Println("\nper-tier incidents, baseline vs web-x4:")
+	base, quad := baseline.Report().Tiers, scaled.Report().Tiers
+	for i := range base {
+		fmt.Printf("  %-8s %4d -> %4d\n", base[i].Tier, base[i].Incidents, quad[i].Incidents)
+	}
+}

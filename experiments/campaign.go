@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	qoscluster "repro"
@@ -110,8 +113,31 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 			return campaign.Matrix{}, err
 		}
 		m.Sites = sites
-	} else if err := validateRigSites(name, cfg.Sites); err != nil {
-		return campaign.Matrix{}, err
+		// The per-tier fault-intensity axis rides on any site scenario.
+		// Validate each spec now — a typo'd multiplier must fail before
+		// trials burn compute — but keep the raw strings as coordinates.
+		// Duplicate cells are rejected: they would share a group key, so
+		// Aggregate would silently fold their seeds into one cell and
+		// halve every CI (a stray trailing ';' is the usual cause).
+		seen := map[string]int{}
+		for i, spec := range cfg.TierFaultScales {
+			if _, err := ParseTierFaultScale(spec); err != nil {
+				return campaign.Matrix{}, err
+			}
+			if prev, dup := seen[spec]; dup {
+				return campaign.Matrix{}, fmt.Errorf("-tierfaults cells %d and %d are both %q; duplicate cells would fold into one aggregation group",
+					prev+1, i+1, spec)
+			}
+			seen[spec] = i
+		}
+		m.TierFaults = cfg.TierFaultScales
+	} else {
+		if err := validateRigSites(name, cfg.Sites); err != nil {
+			return campaign.Matrix{}, err
+		}
+		if len(cfg.TierFaultScales) > 0 {
+			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig and has no tiers to scale; drop -tierfaults", name)
+		}
 	}
 	return m, nil
 }
@@ -170,6 +196,44 @@ func lookupOverride(name string) func(*qoscluster.Options) {
 	return overrides[name]
 }
 
+// ParseTierFaultScale parses a per-tier fault-intensity spec — a comma
+// list of tier=multiplier entries like "web=2,db=0.5" — into the
+// qoscluster.Options.TierFaultScale map. An empty spec returns nil (the
+// topology's own per-tier weights unscaled). Tier names are validated by
+// NewSite against the trial's topology, not here.
+func ParseTierFaultScale(spec string) (map[string]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tier, val, ok := strings.Cut(part, "=")
+		tier = strings.TrimSpace(tier)
+		if !ok || tier == "" {
+			return nil, fmt.Errorf("tier-fault entry %q: want tier=multiplier", part)
+		}
+		scale, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("tier-fault entry %q: %w", part, err)
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+			return nil, fmt.Errorf("tier-fault entry %q: want a finite multiplier >= 0", part)
+		}
+		if _, dup := out[tier]; dup {
+			return nil, fmt.Errorf("tier-fault spec names tier %q twice", tier)
+		}
+		out[tier] = scale
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tier-fault spec %q names no tiers", spec)
+	}
+	return out, nil
+}
+
 // trialOptions builds the qoscluster.Options a trial's coordinates call
 // for: mode and agent set from their string axes, the option axes
 // verbatim, then any registered override applied on top.
@@ -179,6 +243,13 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 		NoBatchRescue:     t.NoBatchRescue,
 		DisablePrivateNet: t.DisablePrivateNet,
 		BaselineMonitors:  t.BaselineMonitors,
+	}
+	if t.TierFaults != "" {
+		scale, err := ParseTierFaultScale(t.TierFaults)
+		if err != nil {
+			return o, err
+		}
+		o.TierFaultScale = scale
 	}
 	switch t.Mode {
 	case "manual", "":
@@ -341,6 +412,13 @@ func yearMetrics(r qoscluster.Report, span simclock.Time) map[string]float64 {
 	for _, row := range r.Rows {
 		vals["downtime_h/"+string(row.Category)] = row.Downtime.Hours()
 		vals["incidents/"+string(row.Category)] = float64(row.Incidents)
+	}
+	// Per-tier breakdown rows: present exactly when the site is tiered
+	// (Report populates Tiers only then), so untiered topologies keep
+	// their pre-domain campaign JSON byte-identical.
+	for _, row := range r.Tiers {
+		vals["downtime_h_tier/"+row.Tier] = row.Downtime.Hours()
+		vals["incidents_tier/"+row.Tier] = float64(row.Incidents)
 	}
 	return vals
 }

@@ -35,6 +35,10 @@ type Config struct {
 	// CronPeriods overrides the ablate-cron sweep axis (default
 	// 1m, 5m, 15m, 60m).
 	CronPeriods []simclock.Time
+	// TierFaultScales sweeps per-tier fault intensity as a matrix axis on
+	// the site scenarios: each entry is a "tier=mult[,tier=mult]" spec
+	// (or "" for the unscaled default) and becomes one aggregation cell.
+	TierFaultScales []string
 }
 
 func (c Config) siteArgs() []string {

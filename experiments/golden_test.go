@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	qoscluster "repro"
+	"repro/internal/campaign"
+	"repro/internal/simclock"
+)
+
+// TestCampaignGoldenNoTierSpecs is the refactor gate for the per-tier
+// workload/fault-domain work: topologies that declare no per-tier specs
+// (paper, small) must produce campaign JSON byte-identical to the
+// pre-refactor engine, pinned by the checked-in goldens
+// (testdata/campaign-golden-<site>-<mode>.json, recorded at the commit
+// before domains landed). Both the fresh-build and the pooled Reset
+// paths are held to the goldens.
+//
+// If this test fails, the domain machinery has leaked into the
+// unspecified path — extra random draws, changed arithmetic, new metric
+// keys. Fix the engine; regenerate the goldens
+// (go run ./scripts/campaigngolden) only for a change that is *supposed*
+// to move the default numbers, and say so in the commit message.
+func TestCampaignGoldenNoTierSpecs(t *testing.T) {
+	for _, site := range []string{"paper", "small"} {
+		for _, mode := range []string{"manual", "agents"} {
+			t.Run(fmt.Sprintf("%s-%s", site, mode), func(t *testing.T) {
+				t.Parallel()
+				if testing.Short() && site == "paper" {
+					t.Skip("paper site × 2 seeds × 3 runs is the long cell; run without -short for the full gate")
+				}
+				want, err := os.ReadFile(filepath.Join("..", "testdata",
+					fmt.Sprintf("campaign-golden-%s-%s.json", site, mode)))
+				if err != nil {
+					t.Fatalf("golden: %v", err)
+				}
+				m := campaign.Matrix{
+					Seeds:     campaign.Seeds(7, 2),
+					Scenarios: []string{"year"},
+					Sites:     []string{site},
+					Modes:     []string{mode},
+					Days:      1,
+				}
+				runs := []struct {
+					name string
+					fn   campaign.RunFunc
+				}{
+					{"fresh", RunTrial},
+					{"pooled", NewPooledRunFunc()},
+				}
+				for _, run := range runs {
+					res, err := campaign.Run("golden", m, 1, run.fn)
+					if err != nil {
+						t.Fatalf("%s campaign: %v", run.name, err)
+					}
+					got, err := res.JSON()
+					if err != nil {
+						t.Fatalf("%s JSON: %v", run.name, err)
+					}
+					got = append(got, '\n')
+					if !bytes.Equal(want, got) {
+						t.Errorf("%s path diverged from the pre-refactor golden (site %s, mode %s):\n%s",
+							run.name, site, mode, firstDiff(want, got))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWebfarmTierSpecDivergence proves the canned webfarm per-tier specs
+// change where faults land and what the workload offers — the tiers
+// genuinely diverge rather than relabelling the same site. It runs the
+// shipped webfarm against a stripped copy (identical tiers, specs
+// removed) on the same seed and asserts the per-tier incident
+// distribution differs, the tiered report carries per-tier rows, and the
+// campaign metrics expose them.
+func TestWebfarmTierSpecDivergence(t *testing.T) {
+	t.Parallel()
+	const span = 60 * simclock.Day
+	const seed = 11
+
+	specced := qoscluster.WebFarmTopology()
+	stripped := qoscluster.WebFarmTopology()
+	stripped.Name = "webfarm-stripped"
+	for i := range stripped.Tiers {
+		stripped.Tiers[i].Workload = nil
+		stripped.Tiers[i].Faults = nil
+	}
+
+	// tierIncidents maps the run's ledger onto topology tiers by host so
+	// the stripped site (whose report has no Tiers rows) is measured with
+	// the same ruler as the specced one.
+	tierIncidents := func(site *qoscluster.Site) map[string]int {
+		out := map[string]int{}
+		for _, inc := range site.Ledger.Incidents() {
+			out[site.TierOf(inc.Host)]++
+		}
+		return out
+	}
+
+	run := func(topo qoscluster.Topology) *qoscluster.Site {
+		t.Helper()
+		site, err := qoscluster.NewSite(topo, qoscluster.WithSeed(seed), qoscluster.WithMode(qoscluster.ModeAgents))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := site.Run(span); err != nil {
+			t.Fatal(err)
+		}
+		return site
+	}
+	withSpecs := run(specced)
+	without := run(stripped)
+
+	if !withSpecs.Tiered() {
+		t.Fatal("shipped webfarm is not tiered; its per-tier specs are gone")
+	}
+	if without.Tiered() {
+		t.Fatal("stripped webfarm still reports tiered")
+	}
+	r := withSpecs.Report()
+	if len(r.Tiers) != 3 {
+		t.Fatalf("tiered report has %d tier rows, want 3", len(r.Tiers))
+	}
+	if got := without.Report().Tiers; len(got) != 0 {
+		t.Fatalf("untiered report has %d tier rows, want none", len(got))
+	}
+
+	a, b := tierIncidents(withSpecs), tierIncidents(without)
+	if fmt.Sprint(a) == fmt.Sprint(b) {
+		t.Errorf("per-tier incident distribution identical with and without specs: %v", a)
+	}
+	var total int
+	for _, n := range a {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("specced webfarm saw no incidents over 60 days; the divergence check is vacuous")
+	}
+
+	// The campaign metric surface exposes the breakdown for tiered sites.
+	vals := yearMetrics(r, span)
+	for _, tier := range []string{"db", "web", "fe"} {
+		if _, ok := vals["incidents_tier/"+tier]; !ok {
+			t.Errorf("yearMetrics missing incidents_tier/%s for the tiered site", tier)
+		}
+		if _, ok := vals["downtime_h_tier/"+tier]; !ok {
+			t.Errorf("yearMetrics missing downtime_h_tier/%s for the tiered site", tier)
+		}
+	}
+	if _, ok := yearMetrics(without.Report(), span)["incidents_tier/db"]; ok {
+		t.Error("yearMetrics emitted tier rows for an untiered site; the golden gate would break")
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	qoscluster "repro"
+)
+
+func TestParseTierFaultScale(t *testing.T) {
+	good, err := ParseTierFaultScale(" web=2, db=0.5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 2 || good["web"] != 2 || good["db"] != 0.5 {
+		t.Errorf("parsed %v", good)
+	}
+	if m, err := ParseTierFaultScale(""); err != nil || m != nil {
+		t.Errorf("empty spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{"web", "=2", "web=", "web=x", "web=-1", "web=2,web=3", ","} {
+		if _, err := ParseTierFaultScale(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestTierFaultsCampaignAxis runs a real two-cell campaign over the
+// tiered webfarm — default weights vs the web tier at 4x — and checks the
+// cells aggregate separately, carry per-tier metric rows, render with the
+// significance column, and stay byte-identical across worker counts.
+func TestTierFaultsCampaignAxis(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 7, Days: 5, Sites: []string{"webfarm"}, TierFaultScales: []string{"", "web=4"}}
+	m, err := CampaignMatrix("before", cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TierFaults) != 2 {
+		t.Fatalf("matrix tier-faults axis = %v", m.TierFaults)
+	}
+	res1, err := Campaign("before", cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := res1.Errs(); len(errs) > 0 {
+		t.Fatalf("%d failed trials; first: %s", len(errs), errs[0].Err)
+	}
+	if len(res1.Groups) != 2 || res1.Groups[1].TierFaults != "web=4" {
+		t.Fatalf("groups wrong: %+v", res1.Groups)
+	}
+	for _, g := range res1.Groups {
+		if _, ok := g.Stats["incidents_tier/web"]; !ok {
+			t.Errorf("group %q missing per-tier metric rows", qoscluster.GroupLabel(g))
+		}
+	}
+	out := qoscluster.FormatCampaign(res1)
+	if !strings.Contains(out, "tierfaults=web=4") || !strings.Contains(out, "p-vs-first") {
+		t.Errorf("FormatCampaign missing axis label or significance column:\n%s", out)
+	}
+
+	res8, err := Campaign("before", cfg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js1, err1 := res1.JSON()
+	js8, err8 := res8.JSON()
+	if err1 != nil || err8 != nil {
+		t.Fatal(err1, err8)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Errorf("tier-faults campaign JSON differs between 1 and 8 workers:\n%s", firstDiff(js1, js8))
+	}
+}
+
+// TestTierFaultsRejectedForRigScenarios: the axis has no meaning for the
+// fixed one-host overhead rigs.
+func TestTierFaultsRejectedForRigScenarios(t *testing.T) {
+	cfg := Config{Seed: 7, TierFaultScales: []string{"web=2"}}
+	if _, err := CampaignMatrix("overhead", cfg, 2); err == nil ||
+		!strings.Contains(err.Error(), "tierfaults") {
+		t.Errorf("rig scenario accepted the tier-faults axis: %v", err)
+	}
+	cfg.TierFaultScales = []string{"web=bogus"}
+	if _, err := CampaignMatrix("before", cfg, 2); err == nil {
+		t.Error("malformed tier-faults spec passed matrix validation")
+	}
+}
+
+// TestTierFaultsDuplicateCellsRejected: duplicate axis cells would fold
+// into one aggregation group (same group key), silently doubling its
+// seeds; the matrix must reject them up front.
+func TestTierFaultsDuplicateCellsRejected(t *testing.T) {
+	cfg := Config{Seed: 7, Sites: []string{"webfarm"}, TierFaultScales: []string{"", "web=2", ""}}
+	if _, err := CampaignMatrix("before", cfg, 2); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate tier-faults cells accepted: %v", err)
+	}
+}

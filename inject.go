@@ -2,6 +2,7 @@ package qoscluster
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/adminsrv"
 	"repro/internal/agents"
@@ -33,35 +34,161 @@ func DefaultFaultSpecs() []faultinject.Spec {
 	}
 }
 
+// faultSpecs resolves the campaign the site runs: the Options override
+// (or the paper-calibrated default), with per-tier fault domains attached
+// when the topology or options declare any. Specs whose Domains a caller
+// set explicitly are respected as given.
 func (s *Site) faultSpecs() []faultinject.Spec {
-	if s.Opts.Faults != nil {
-		return s.Opts.Faults
+	specs := s.Opts.Faults
+	if specs == nil {
+		specs = DefaultFaultSpecs()
 	}
-	return DefaultFaultSpecs()
+	if !s.hasTierFaultDomains() {
+		return specs
+	}
+	out := make([]faultinject.Spec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		if out[i].Domains == nil {
+			out[i].Domains = s.faultDomains(out[i].Category)
+		}
+	}
+	return out
 }
 
-// inject performs one category's concrete breakage and registers the live
-// fault. In ModeManual the operator detection clock starts here; in
-// ModeAgents detection is whatever the agents (or the admin sweep) achieve.
-func (s *Site) inject(cat metrics.Category, now simclock.Time) {
+// hasTierFaultDomains reports whether any tier-scoped fault behaviour is
+// configured; untiered sites keep the site-global campaign byte-identical
+// to the pre-domain path.
+func (s *Site) hasTierFaultDomains() bool {
+	if len(s.Opts.TierFaultScale) > 0 {
+		return true
+	}
+	for _, tier := range s.Topo.Tiers {
+		if s.resolvedFaults(tier) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// faultDomains compiles one category's domain list: every topology tier,
+// with its resolved weight (eligibility gate, then the Only restriction,
+// then the category's rate multiplier, then the fault-intensity scale)
+// and blackout windows. Tiers that cannot host the category's breakage
+// at all get weight 0 — otherwise their share of the arrivals would
+// silently no-op in the injector, diluting the category's effective rate
+// below what the weights say. Weights are therefore *relative shares*
+// over the eligible tiers; the site-wide arrival rate is the spec's.
+func (s *Site) faultDomains(cat metrics.Category) []faultinject.Domain {
+	out := make([]faultinject.Domain, 0, len(s.Topo.Tiers))
+	for _, tier := range s.Topo.Tiers {
+		d := faultinject.Domain{Tier: tier.Name}
+		if tierEligible(tier, cat) {
+			d.Weight = 1
+		}
+		if fs := s.resolvedFaults(tier); fs != nil {
+			if len(fs.Only) > 0 && !slices.Contains(fs.Only, string(cat)) {
+				d.Weight = 0
+			} else if r, ok := fs.Rates[string(cat)]; ok && d.Weight > 0 {
+				d.Weight = r
+			}
+			for _, b := range fs.Blackouts {
+				d.Blackouts = append(d.Blackouts, faultinject.Blackout{From: b.FromHour, To: b.ToHour})
+			}
+		}
+		if scale, ok := s.Opts.TierFaultScale[tier.Name]; ok {
+			d.Weight *= scale
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// tierDeploysKind reports whether the tier's templates put at least one
+// service instance of one of the given kinds on some host.
+func tierDeploysKind(tier Tier, kinds ...svc.Kind) bool {
+	for _, st := range tier.Services {
+		if !slices.Contains(kinds, svc.Kind(st.Kind)) {
+			continue
+		}
+		for i := 0; i < tier.Hosts; i++ {
+			if st.appliesTo(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tierDeploysTarget reports whether the tier expands to at least one
+// LSF-target service.
+func tierDeploysTarget(tier Tier) bool {
+	for _, st := range tier.Services {
+		if !st.LSFTarget {
+			continue
+		}
+		for i := 0; i < tier.Hosts; i++ {
+			if st.appliesTo(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tierEligible reports whether the tier has anything the category's
+// injector can break — it mirrors each injector's target selection.
+func tierEligible(tier Tier, cat metrics.Category) bool {
+	switch cat {
+	case metrics.CatMidCrash:
+		return tierDeploysTarget(tier)
+	case metrics.CatHuman:
+		return tierDeploysKind(tier, svc.KindOracle, svc.KindSybase, svc.KindWeb, svc.KindFront, svc.KindFeed)
+	case metrics.CatPerformance:
+		return tier.Role == "database" || tier.Role == "transaction"
+	case metrics.CatFrontEnd:
+		return tierDeploysKind(tier, svc.KindFront)
+	case metrics.CatLSF:
+		return tierDeploysKind(tier, svc.KindLSF)
+	case metrics.CatCompletelyDown:
+		return tierDeploysKind(tier, svc.KindOracle, svc.KindSybase, svc.KindFront, svc.KindFeed)
+	default:
+		// Firewall/network and hardware errors hit hosts, not services:
+		// every tier qualifies.
+		return true
+	}
+}
+
+// inTier reports whether a host belongs to the fault domain; a blank
+// domain is site-wide.
+func (s *Site) inTier(host, tier string) bool {
+	return tier == "" || s.tierOf[host] == tier
+}
+
+// inject performs one category's concrete breakage — confined to the
+// given tier when the arrival is domain-scoped, site-wide when tier is
+// "" — and registers the live fault. In ModeManual the operator detection
+// clock starts here; in ModeAgents detection is whatever the agents (or
+// the admin sweep) achieve.
+func (s *Site) inject(cat metrics.Category, tier string, now simclock.Time) {
 	var f *faultinject.Fault
 	switch cat {
 	case metrics.CatMidCrash:
-		f = s.injectMidCrash(now)
+		f = s.injectMidCrash(tier, now)
 	case metrics.CatHuman:
-		f = s.injectHumanError(now)
+		f = s.injectHumanError(tier, now)
 	case metrics.CatPerformance:
-		f = s.injectPerformance(now)
+		f = s.injectPerformance(tier, now)
 	case metrics.CatFrontEnd:
-		f = s.injectFrontEnd(now)
+		f = s.injectFrontEnd(tier, now)
 	case metrics.CatLSF:
-		f = s.injectLSF(now)
+		f = s.injectLSF(tier, now)
 	case metrics.CatFirewallNet:
-		f = s.injectFirewallNet(now)
+		f = s.injectFirewallNet(tier, now)
 	case metrics.CatHardware:
-		f = s.injectHardware(now)
+		f = s.injectHardware(tier, now)
 	case metrics.CatCompletelyDown:
-		f = s.injectCompletelyDown(now)
+		f = s.injectCompletelyDown(tier, now)
 	}
 	if f == nil {
 		return // no eligible target right now; the campaign will be back
@@ -75,13 +202,16 @@ func (s *Site) inject(cat metrics.Category, now simclock.Time) {
 	}
 }
 
-// pickService returns a running service of one of the given kinds with no
-// open fault, or nil.
-func (s *Site) pickService(rng *simclock.Rand, kinds ...svc.Kind) *svc.Service {
+// pickService returns a running service of one of the given kinds in the
+// fault domain with no open fault, or nil. A blank tier means site-wide;
+// the filter order keeps candidate enumeration (and so the random draw)
+// identical to the pre-domain path for site-wide arrivals.
+func (s *Site) pickService(rng *simclock.Rand, tier string, kinds ...svc.Kind) *svc.Service {
 	var cands []*svc.Service
 	for _, k := range kinds {
 		for _, sv := range s.Dir.ByKind(k) {
-			if sv.Running() && s.Registry.Find(sv.Host.Name, agents.ServiceAspect(sv.Spec.Name)) == nil {
+			if sv.Running() && s.inTier(sv.Host.Name, tier) &&
+				s.Registry.Find(sv.Host.Name, agents.ServiceAspect(sv.Spec.Name)) == nil {
 				cands = append(cands, sv)
 			}
 		}
@@ -95,13 +225,14 @@ func (s *Site) pickService(rng *simclock.Rand, kinds ...svc.Kind) *svc.Service {
 // injectMidCrash crashes a database under batch load, failing its jobs —
 // the paper's dominant downtime source ("large database jobs scheduled to
 // run overnight would frequently crash databases").
-func (s *Site) injectMidCrash(now simclock.Time) *faultinject.Fault {
+func (s *Site) injectMidCrash(tier string, now simclock.Time) *faultinject.Fault {
 	rng := s.Sim.Rand()
 	// Prefer a database currently running jobs.
 	var busy, any []*svc.Service
 	for _, name := range s.dbServices {
 		sv := s.Dir.Get(name)
-		if sv == nil || !sv.Running() || s.Registry.Find(sv.Host.Name, agents.ServiceAspect(name)) != nil {
+		if sv == nil || !sv.Running() || !s.inTier(sv.Host.Name, tier) ||
+			s.Registry.Find(sv.Host.Name, agents.ServiceAspect(name)) != nil {
 			continue
 		}
 		any = append(any, sv)
@@ -126,8 +257,8 @@ func (s *Site) injectMidCrash(now simclock.Time) *faultinject.Fault {
 
 // injectHumanError breaks a service through a bad manual change: the
 // service ends up stopped (wrong config pushed, wrong process killed).
-func (s *Site) injectHumanError(now simclock.Time) *faultinject.Fault {
-	sv := s.pickService(s.Sim.Rand(), svc.KindOracle, svc.KindSybase, svc.KindWeb, svc.KindFront, svc.KindFeed)
+func (s *Site) injectHumanError(tier string, now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), tier, svc.KindOracle, svc.KindSybase, svc.KindWeb, svc.KindFront, svc.KindFeed)
 	if sv == nil {
 		return nil
 	}
@@ -139,12 +270,12 @@ func (s *Site) injectHumanError(now simclock.Time) *faultinject.Fault {
 
 // injectPerformance starts a runaway analyst process — a CPU hog or a
 // memory leaker — on a database or transaction host.
-func (s *Site) injectPerformance(now simclock.Time) *faultinject.Fault {
+func (s *Site) injectPerformance(tier string, now simclock.Time) *faultinject.Fault {
 	rng := s.Sim.Rand()
 	hosts := append(s.DC.ByRole(cluster.RoleDatabase), s.DC.ByRole(cluster.RoleTransaction)...)
 	var up []*cluster.Host
 	for _, h := range hosts {
-		if h.Up() && s.Registry.Find(h.Name, agents.AspectHog) == nil &&
+		if h.Up() && s.inTier(h.Name, tier) && s.Registry.Find(h.Name, agents.AspectHog) == nil &&
 			s.Registry.Find(h.Name, agents.AspectLeak) == nil {
 			up = append(up, h)
 		}
@@ -176,8 +307,8 @@ func (s *Site) injectPerformance(now simclock.Time) *faultinject.Fault {
 }
 
 // injectFrontEnd crashes or hangs a front-end application service.
-func (s *Site) injectFrontEnd(now simclock.Time) *faultinject.Fault {
-	sv := s.pickService(s.Sim.Rand(), svc.KindFront)
+func (s *Site) injectFrontEnd(tier string, now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), tier, svc.KindFront)
 	if sv == nil {
 		return nil
 	}
@@ -194,8 +325,8 @@ func (s *Site) injectFrontEnd(now simclock.Time) *faultinject.Fault {
 }
 
 // injectLSF crashes a host's LSF daemons ("very often they would crash").
-func (s *Site) injectLSF(now simclock.Time) *faultinject.Fault {
-	sv := s.pickService(s.Sim.Rand(), svc.KindLSF)
+func (s *Site) injectLSF(tier string, now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), tier, svc.KindLSF)
 	if sv == nil {
 		return nil
 	}
@@ -208,12 +339,13 @@ func (s *Site) injectLSF(now simclock.Time) *faultinject.Fault {
 // injectFirewallNet breaks a host's public-LAN connectivity (firewall
 // misconfiguration or network error). Agents detect but cannot repair
 // these (the paper's stated limitation).
-func (s *Site) injectFirewallNet(now simclock.Time) *faultinject.Fault {
+func (s *Site) injectFirewallNet(tier string, now simclock.Time) *faultinject.Fault {
 	rng := s.Sim.Rand()
 	hosts := s.DC.Hosts()
 	var up []*cluster.Host
 	for _, h := range hosts {
-		if h.Up() && h.Role != cluster.RoleAdmin && s.Registry.Find(h.Name, agents.AspectNet) == nil {
+		if h.Up() && h.Role != cluster.RoleAdmin && s.inTier(h.Name, tier) &&
+			s.Registry.Find(h.Name, agents.AspectNet) == nil {
 			up = append(up, h)
 		}
 	}
@@ -234,11 +366,11 @@ func (s *Site) injectFirewallNet(now simclock.Time) *faultinject.Fault {
 
 // injectHardware kills a host outright: boards, power, backplane. Physical
 // repair required; nothing on the box can help.
-func (s *Site) injectHardware(now simclock.Time) *faultinject.Fault {
+func (s *Site) injectHardware(tier string, now simclock.Time) *faultinject.Fault {
 	rng := s.Sim.Rand()
 	var up []*cluster.Host
 	for _, h := range s.DC.Hosts() {
-		if h.Up() && h.Role != cluster.RoleAdmin {
+		if h.Up() && h.Role != cluster.RoleAdmin && s.inTier(h.Name, tier) {
 			up = append(up, h)
 		}
 	}
@@ -274,8 +406,8 @@ func (s *Site) injectHardware(now simclock.Time) *faultinject.Fault {
 
 // injectCompletelyDown corrupts a service so that restarts fail until a
 // human repairs the damage ("corruptions, bugs etc").
-func (s *Site) injectCompletelyDown(now simclock.Time) *faultinject.Fault {
-	sv := s.pickService(s.Sim.Rand(), svc.KindOracle, svc.KindSybase, svc.KindFront, svc.KindFeed)
+func (s *Site) injectCompletelyDown(tier string, now simclock.Time) *faultinject.Fault {
+	sv := s.pickService(s.Sim.Rand(), tier, svc.KindOracle, svc.KindSybase, svc.KindFront, svc.KindFeed)
 	if sv == nil {
 		return nil
 	}

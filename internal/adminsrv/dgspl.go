@@ -2,6 +2,8 @@ package adminsrv
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 
@@ -69,9 +71,12 @@ func (p *Pair) GenerateDGSPL(now simclock.Time) *ontology.DGSPL {
 			byType[e.AppType] = append(byType[e.AppType], lines[2:]...)
 		}
 	}
+	// Write in sorted type order: map order would vary the pool volume's
+	// file-creation sequence run to run, and everything downstream of the
+	// simulation is held to bit-for-bit replay.
 	fs := p.Active().Host.FS
-	for appType, lines := range byType {
-		_ = fs.WriteLines(fmt.Sprintf("%s/dgspl-%s.txt", PoolMount, appType), lines)
+	for _, appType := range slices.Sorted(maps.Keys(byType)) {
+		_ = fs.WriteLines(fmt.Sprintf("%s/dgspl-%s.txt", PoolMount, appType), byType[appType])
 	}
 	p.latestDGSPL = list
 	return list

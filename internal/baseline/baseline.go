@@ -117,8 +117,7 @@ func (m *Monitor) poll(now simclock.Time, services *svc.Directory) {
 	noise := 1 + m.fp.NoiseFrac*(2*m.rng.Float64()-1)
 	m.lastCPU = (m.fp.CPUBasePct + m.fp.CPUSlope*util) * noise
 	m.lastMem = (m.fp.MemBaseMB + m.fp.MemSlopeMB*util) * noise
-	m.proc.CPUDemand = m.cpuDemand(m.lastCPU)
-	m.proc.MemMB = m.lastMem
+	m.host.SetProcDemand(m.proc, m.cpuDemand(m.lastCPU), m.lastMem)
 
 	if services == nil {
 		return

@@ -87,9 +87,16 @@ type Group struct {
 	DisablePrivateNet bool            `json:"disable_private_net,omitempty"`
 	BaselineMonitors  bool            `json:"baseline_monitors,omitempty"`
 	Overrides         string          `json:"overrides,omitempty"`
+	TierFaults        string          `json:"tier_faults,omitempty"`
 	Seeds             int             `json:"seeds"`
 	Errors            int             `json:"errors,omitempty"`
 	Stats             map[string]Stat `json:"stats"`
+
+	// key is the groupKey Aggregate derived this group from — the single
+	// source of truth GroupSamples matches trials against, so a new axis
+	// added to Trial/keyOf/GroupOf cannot silently desync the sample
+	// collection. Unexported: excluded from the canonical JSON.
+	key groupKey
 }
 
 // MetricNames lists the group's metric keys sorted, for stable rendering.
@@ -109,6 +116,7 @@ type groupKey struct {
 	agentSet             string
 	noRescue, noNet, mon bool
 	overrides            string
+	tierFaults           string
 }
 
 func keyOf(t Trial) groupKey {
@@ -116,7 +124,7 @@ func keyOf(t Trial) groupKey {
 		scenario: t.Scenario, site: t.Site, mode: t.Mode, days: t.Days,
 		cron: t.CronPeriod, agentSet: t.AgentSet,
 		noRescue: t.NoBatchRescue, noNet: t.DisablePrivateNet, mon: t.BaselineMonitors,
-		overrides: t.Overrides,
+		overrides: t.Overrides, tierFaults: t.TierFaults,
 	}
 }
 
@@ -128,6 +136,7 @@ func GroupOf(t Trial) Group {
 		CronPeriod: t.CronPeriod, AgentSet: t.AgentSet,
 		NoBatchRescue: t.NoBatchRescue, DisablePrivateNet: t.DisablePrivateNet,
 		BaselineMonitors: t.BaselineMonitors, Overrides: t.Overrides,
+		TierFaults: t.TierFaults,
 	}
 }
 
@@ -145,6 +154,7 @@ func Aggregate(trials []TrialResult) []Group {
 		g, ok := groups[k]
 		if !ok {
 			gv := GroupOf(tr.Trial)
+			gv.key = k
 			g = &gv
 			groups[k] = g
 			samples[k] = make(map[string][]float64)

@@ -46,6 +46,10 @@ type Trial struct {
 	DisablePrivateNet bool          `json:"disable_private_net,omitempty"`
 	BaselineMonitors  bool          `json:"baseline_monitors,omitempty"`
 	Overrides         string        `json:"overrides,omitempty"`
+	// TierFaults is the per-tier fault-intensity coordinate: a spec like
+	// "web=2,db=0.5" scaling the named tiers' fault selection weights.
+	// "" means the topology's own per-tier specs unscaled.
+	TierFaults string `json:"tier_faults,omitempty"`
 }
 
 // Matrix enumerates the campaign: the cross product of its axes, one Trial
@@ -65,6 +69,10 @@ type Matrix struct {
 	DisablePrivateNet []bool          `json:"disable_private_net,omitempty"`
 	BaselineMonitors  []bool          `json:"baseline_monitors,omitempty"`
 	Overrides         []string        `json:"overrides,omitempty"`
+	// TierFaults sweeps per-tier fault-intensity specs (see
+	// Trial.TierFaults); the usual axis pairs the default "" against one
+	// or more scaled cells.
+	TierFaults []string `json:"tier_faults,omitempty"`
 }
 
 // Seeds returns n sequential seeds starting at base — the conventional way
@@ -100,9 +108,9 @@ func orFalse(xs []bool) []bool {
 
 // Trials enumerates the cross product in deterministic order: scenario
 // outermost, then site, mode, cron period, agent set, the ablation
-// toggles (batch rescue, private net, baseline monitors), and overrides,
-// with the seed axis innermost so that one aggregation group's trials are
-// contiguous.
+// toggles (batch rescue, private net, baseline monitors), overrides and
+// the per-tier fault-intensity spec, with the seed axis innermost so that
+// one aggregation group's trials are contiguous.
 func (m Matrix) Trials() []Trial {
 	var out []Trial
 	for _, sc := range orBlank(m.Scenarios) {
@@ -114,14 +122,17 @@ func (m Matrix) Trials() []Trial {
 							for _, noNet := range orFalse(m.DisablePrivateNet) {
 								for _, mon := range orFalse(m.BaselineMonitors) {
 									for _, ov := range orBlank(m.Overrides) {
-										for _, seed := range m.Seeds {
-											out = append(out, Trial{
-												Index: len(out), Seed: seed, Scenario: sc,
-												Site: site, Mode: mode, Days: m.Days,
-												CronPeriod: cron, AgentSet: as,
-												NoBatchRescue: rescue, DisablePrivateNet: noNet,
-												BaselineMonitors: mon, Overrides: ov,
-											})
+										for _, tf := range orBlank(m.TierFaults) {
+											for _, seed := range m.Seeds {
+												out = append(out, Trial{
+													Index: len(out), Seed: seed, Scenario: sc,
+													Site: site, Mode: mode, Days: m.Days,
+													CronPeriod: cron, AgentSet: as,
+													NoBatchRescue: rescue, DisablePrivateNet: noNet,
+													BaselineMonitors: mon, Overrides: ov,
+													TierFaults: tf,
+												})
+											}
 										}
 									}
 								}

@@ -169,7 +169,7 @@ func TestHungProcessUsesNoCPU(t *testing.T) {
 	sim := simclock.New(1)
 	h := newHost(sim)
 	p := h.Spawn("oracle", "dba", "", 4, 512)
-	p.State = ProcHung
+	h.SetProcState(p, ProcHung)
 	if h.CPUUtilisation() != 0 {
 		t.Errorf("hung process should not consume CPU: %v", h.CPUUtilisation())
 	}

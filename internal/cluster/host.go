@@ -76,6 +76,15 @@ type Host struct {
 	// lastAccounted is the last time microstate accounting ran.
 	lastAccounted simclock.Time
 
+	// Running demand aggregates, maintained incrementally on spawn, exit,
+	// state transitions and demand changes so the hot probe paths
+	// (cpuDemand, MemUsedMB — called by every agent run and microstate
+	// account) cost O(1) instead of a process-table walk. Kept in the same
+	// per-process rounded integer micro-units the walk summed, so the
+	// aggregate is bit-identical to the walk in any mutation order.
+	aggCPUMicro int64 // Σ cpuQuantum over active processes
+	aggMemMicro int64 // Σ memQuantum over memory-holding processes
+
 	// procFree recycles Process objects through the spawn/kill churn of
 	// short-lived agent processes. Callers must not retain *Process across
 	// simulated events (none do — snapshots like PS are consumed within
@@ -121,7 +130,59 @@ func (h *Host) Reset() {
 	h.nicErrors = 0
 	h.sensorFaults = nil
 	h.lastAccounted = 0
+	h.aggCPUMicro = 0
+	h.aggMemMicro = 0
 	h.FS.Reset()
+}
+
+// cpuQuantum is one process's contribution to the CPU-demand aggregate:
+// its demand rounded to integer micro-CPUs, zero unless it is actively
+// consuming CPU.
+func cpuQuantum(p *Process) int64 {
+	if !p.Active() {
+		return 0
+	}
+	return int64(p.CPUDemand*1e6 + 0.5)
+}
+
+// memQuantum is the memory counterpart, in micro-MB.
+func memQuantum(p *Process) int64 {
+	if !p.HoldsMemory() {
+		return 0
+	}
+	return int64(p.MemMB*1e6 + 0.5)
+}
+
+// account adds (sign +1) or removes (sign -1) a process from the running
+// demand aggregates.
+func (h *Host) account(p *Process, sign int64) {
+	h.aggCPUMicro += sign * cpuQuantum(p)
+	h.aggMemMicro += sign * memQuantum(p)
+}
+
+// SetProcState transitions a process's scheduling state, keeping the
+// demand aggregates consistent. Every state change outside this package
+// must go through it (or SetProcDemand) — writing the fields directly
+// would desync the aggregates the probes read.
+func (h *Host) SetProcState(p *Process, st ProcState) {
+	if p == nil || p.State == st {
+		return
+	}
+	h.account(p, -1)
+	p.State = st
+	h.account(p, +1)
+}
+
+// SetProcDemand updates a process's CPU and memory demand, keeping the
+// aggregates consistent.
+func (h *Host) SetProcDemand(p *Process, cpuDemand, memMB float64) {
+	if p == nil {
+		return
+	}
+	h.account(p, -1)
+	p.CPUDemand = cpuDemand
+	p.MemMB = memMB
+	h.account(p, +1)
 }
 
 // Up reports whether the host can run processes and answer probes.
@@ -138,6 +199,8 @@ func (h *Host) Crash() {
 	h.users = make(map[string]int)
 	h.extraLoad = 0
 	h.diskActivity = 0
+	h.aggCPUMicro = 0
+	h.aggMemMicro = 0
 }
 
 // HardwareFail marks the host as needing physical repair.
@@ -219,6 +282,7 @@ func (h *Host) Spawn(name, user, args string, cpuDemand, memMB float64) *Process
 		Started:   h.sim.Now(),
 	}
 	h.procs[p.PID] = p
+	h.account(p, +1)
 	return p
 }
 
@@ -230,6 +294,7 @@ func (h *Host) Kill(pid int) bool {
 		return false
 	}
 	h.accountMicrostates()
+	h.account(p, -1)
 	delete(h.procs, pid)
 	h.procFree = append(h.procFree, p)
 	return true
@@ -337,20 +402,16 @@ func (h *Host) InjectNICErrors(n int) { h.nicErrors += n }
 // ClearNICErrors zeroes the NIC error counter (after repair).
 func (h *Host) ClearNICErrors() { h.nicErrors = 0 }
 
-// cpuDemand sums active process demand plus ambient load, in CPUs. The
-// accumulation runs in integer micro-CPUs: the process table is a map, so
-// a float sum would depend on Go's randomised iteration order — float
-// addition is not associative, and a last-ulp wobble here would leak into
-// probe latencies and profile payloads, breaking bit-for-bit replay.
-// Integer addition is order-independent.
+// cpuDemand sums active process demand plus ambient load, in CPUs. It
+// reads the incrementally maintained aggregate rather than walking the
+// process table — the per-probe map walks were the top of the CPU
+// profile. The aggregate runs in integer micro-CPUs: integer addition is
+// order-independent, so the sum is bit-identical to a table walk in any
+// order of spawns, exits and transitions (a float sum would wobble in the
+// last ulp with mutation order and leak into probe latencies, breaking
+// bit-for-bit replay).
 func (h *Host) cpuDemand() float64 {
-	micro := int64(h.extraLoad*1e6 + 0.5)
-	for _, p := range h.procs {
-		if p.Active() {
-			micro += int64(p.CPUDemand*1e6 + 0.5)
-		}
-	}
-	return float64(micro) * 1e-6
+	return float64(int64(h.extraLoad*1e6+0.5)+h.aggCPUMicro) * 1e-6
 }
 
 // CPUUtilisation reports overall utilisation in [0,1].
@@ -375,19 +436,14 @@ func (h *Host) RunQueue() int {
 	return int(excess + 0.999)
 }
 
-// MemUsedMB sums resident process memory plus a fixed kernel share, in
-// integer micro-MB for the same iteration-order independence cpuDemand
-// needs.
+// MemUsedMB sums resident process memory plus a fixed kernel share, read
+// from the incrementally maintained aggregate (integer micro-MB, for the
+// same order-independence cpuDemand relies on).
 func (h *Host) MemUsedMB() float64 {
 	if h.state != HostUp {
 		return 0
 	}
-	micro := int64(float64(h.Model.MemoryMB)*0.05*1e6 + 0.5) // kernel + buffers
-	for _, p := range h.procs {
-		if p.HoldsMemory() {
-			micro += int64(p.MemMB*1e6 + 0.5)
-		}
-	}
+	micro := int64(float64(h.Model.MemoryMB)*0.05*1e6+0.5) + h.aggMemMicro // kernel + buffers
 	used := float64(micro) * 1e-6
 	if used > float64(h.Model.MemoryMB) {
 		used = float64(h.Model.MemoryMB)

@@ -215,45 +215,107 @@ func (r *Registry) resolveFault(f *Fault, now simclock.Time, by string) bool {
 	return true
 }
 
-// Spec describes one category's arrival process.
+// Blackout is a recurring daily hour window [From, To) during which a
+// domain receives no fault arrivals; To <= From wraps past midnight, so
+// {22, 6} covers the overnight hours.
+type Blackout struct {
+	From, To int
+}
+
+// contains reports whether t's hour of day falls inside the blackout.
+func (b Blackout) contains(t simclock.Time) bool {
+	h := t.HourOfDay()
+	if b.From < b.To {
+		return h >= b.From && h < b.To
+	}
+	return h >= b.From || h < b.To
+}
+
+func inBlackout(bs []Blackout, t simclock.Time) bool {
+	for _, b := range bs {
+		if b.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Domain scopes a share of a spec's arrivals to one topology tier. Each
+// arrival draws a domain with probability proportional to Weight, and the
+// injector restricts the breakage to that tier's hosts. Blackouts slide
+// arrivals that land inside them forward, like the spec's window bias.
+type Domain struct {
+	Tier      string
+	Weight    float64
+	Blackouts []Blackout
+}
+
+// Spec describes one category's arrival process. Domains, when non-empty,
+// split the arrivals across tiers by weight; empty means site-wide — the
+// pre-domain behaviour, byte-identical in event order and random-stream
+// consumption.
 type Spec struct {
 	Category         metrics.Category
 	MeanInterarrival simclock.Time
 	Window           Window
+	Domains          []Domain
 }
 
 // Campaign schedules arrivals for a set of specs and calls the scenario's
 // injector for each. The injector owns the actual breakage and registry
-// bookkeeping (it knows the datacentre); the campaign owns the clock.
+// bookkeeping (it knows the datacentre); the campaign owns the clock and
+// the domain draw. The injector's tier argument is "" for a site-wide
+// arrival, else the tier the arrival must land on.
 type Campaign struct {
-	sim    *simclock.Sim
-	rng    *simclock.Rand
-	inject func(cat metrics.Category, now simclock.Time)
-	counts map[metrics.Category]int
+	sim        *simclock.Sim
+	rng        *simclock.Rand
+	inject     func(cat metrics.Category, tier string, now simclock.Time)
+	counts     map[metrics.Category]int
+	tierCounts map[string]int // "tier/category" -> injections
 }
 
 // NewCampaign returns a campaign using its own forked random stream.
-func NewCampaign(sim *simclock.Sim, inject func(cat metrics.Category, now simclock.Time)) *Campaign {
+func NewCampaign(sim *simclock.Sim, inject func(cat metrics.Category, tier string, now simclock.Time)) *Campaign {
 	return &Campaign{
-		sim:    sim,
-		rng:    sim.Rand().Fork(0xfa01),
-		inject: inject,
-		counts: make(map[metrics.Category]int),
+		sim:        sim,
+		rng:        sim.Rand().Fork(0xfa01),
+		inject:     inject,
+		counts:     make(map[metrics.Category]int),
+		tierCounts: make(map[string]int),
 	}
 }
 
 // Injections reports how many faults of a category have been injected.
 func (c *Campaign) Injections(cat metrics.Category) int { return c.counts[cat] }
 
+// TierInjections reports how many of a category's faults were scoped to
+// the named tier (zero for campaigns without domain-scoped specs).
+func (c *Campaign) TierInjections(tier string, cat metrics.Category) int {
+	return c.tierCounts[tier+"/"+string(cat)]
+}
+
 // Start schedules the first arrival of every spec. Arrivals repeat until
-// the simulation ends.
+// the simulation ends. A domain-scoped spec whose weights are all zero is
+// skipped entirely: its arrivals would have nowhere to land.
 func (c *Campaign) Start(specs []Spec) {
 	for _, s := range specs {
 		if s.MeanInterarrival <= 0 {
 			continue
 		}
+		if len(s.Domains) > 0 && !hasPositiveWeight(s.Domains) {
+			continue
+		}
 		c.scheduleNext(s)
 	}
+}
+
+func hasPositiveWeight(ds []Domain) bool {
+	for _, d := range ds {
+		if d.Weight > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Campaign) scheduleNext(s Spec) {
@@ -264,9 +326,29 @@ func (c *Campaign) scheduleNext(s Spec) {
 	for i := 0; i < 48 && !s.Window.contains(at); i++ {
 		at += simclock.Hour
 	}
+	tier := ""
+	if len(s.Domains) > 0 {
+		weights := make([]float64, len(s.Domains))
+		for i, d := range s.Domains {
+			weights[i] = d.Weight
+		}
+		// Start guarantees at least one positive weight, which is all
+		// rng.Pick requires.
+		d := s.Domains[c.rng.Pick(weights)]
+		tier = d.Tier
+		// Blackout bias: slide past the domain's blackout the same way.
+		// (The slide can leave the spec's window — both are first-order
+		// biases, and the blackout is the harder guarantee.)
+		for i := 0; i < 48 && inBlackout(d.Blackouts, at); i++ {
+			at += simclock.Hour
+		}
+	}
 	c.sim.Schedule(at, "fault:"+string(s.Category), func(now simclock.Time) {
 		c.counts[s.Category]++
-		c.inject(s.Category, now)
+		if tier != "" {
+			c.tierCounts[tier+"/"+string(s.Category)]++
+		}
+		c.inject(s.Category, tier, now)
 		c.scheduleNext(s)
 	})
 }

@@ -99,7 +99,7 @@ func TestWindowContains(t *testing.T) {
 func TestCampaignRate(t *testing.T) {
 	sim := simclock.New(42)
 	var arrivals []simclock.Time
-	c := NewCampaign(sim, func(cat metrics.Category, now simclock.Time) {
+	c := NewCampaign(sim, func(cat metrics.Category, _ string, now simclock.Time) {
 		arrivals = append(arrivals, now)
 	})
 	c.Start([]Spec{{Category: metrics.CatMidCrash, MeanInterarrival: simclock.Day, Window: AnyTime}})
@@ -116,7 +116,7 @@ func TestCampaignRate(t *testing.T) {
 func TestCampaignWindowBias(t *testing.T) {
 	sim := simclock.New(7)
 	inWindow, total := 0, 0
-	c := NewCampaign(sim, func(cat metrics.Category, now simclock.Time) {
+	c := NewCampaign(sim, func(cat metrics.Category, _ string, now simclock.Time) {
 		total++
 		if now.IsOvernight() {
 			inWindow++
@@ -136,7 +136,7 @@ func TestCampaignWindowBias(t *testing.T) {
 func TestCampaignZeroRateSkipped(t *testing.T) {
 	sim := simclock.New(1)
 	fired := false
-	c := NewCampaign(sim, func(metrics.Category, simclock.Time) { fired = true })
+	c := NewCampaign(sim, func(metrics.Category, string, simclock.Time) { fired = true })
 	c.Start([]Spec{{Category: metrics.CatLSF, MeanInterarrival: 0}})
 	sim.RunUntil(10 * simclock.Day)
 	if fired {
@@ -148,7 +148,7 @@ func TestCampaignDeterminism(t *testing.T) {
 	run := func() []simclock.Time {
 		sim := simclock.New(99)
 		var arrivals []simclock.Time
-		c := NewCampaign(sim, func(cat metrics.Category, now simclock.Time) { arrivals = append(arrivals, now) })
+		c := NewCampaign(sim, func(cat metrics.Category, _ string, now simclock.Time) { arrivals = append(arrivals, now) })
 		c.Start([]Spec{
 			{Category: metrics.CatMidCrash, MeanInterarrival: simclock.Day},
 			{Category: metrics.CatHuman, MeanInterarrival: 2 * simclock.Day, Window: Daytime},
@@ -164,5 +164,79 @@ func TestCampaignDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("diverged at %d", i)
 		}
+	}
+}
+
+// TestCampaignDomainWeights pins the domain draw: arrivals split across
+// tiers roughly by weight, and zero-weight tiers receive nothing.
+func TestCampaignDomainWeights(t *testing.T) {
+	sim := simclock.New(5)
+	byTier := map[string]int{}
+	c := NewCampaign(sim, func(cat metrics.Category, tier string, now simclock.Time) {
+		byTier[tier]++
+	})
+	c.Start([]Spec{{
+		Category: metrics.CatHuman, MeanInterarrival: 6 * simclock.Hour,
+		Domains: []Domain{
+			{Tier: "web", Weight: 3},
+			{Tier: "db", Weight: 1},
+			{Tier: "never", Weight: 0},
+		},
+	}})
+	sim.RunUntil(200 * simclock.Day)
+	if byTier["never"] != 0 {
+		t.Errorf("zero-weight tier drew %d arrivals", byTier["never"])
+	}
+	if byTier[""] != 0 {
+		t.Errorf("domain-scoped spec produced %d site-wide arrivals", byTier[""])
+	}
+	web, db := byTier["web"], byTier["db"]
+	if db == 0 {
+		t.Fatal("weight-1 tier starved entirely")
+	}
+	if ratio := float64(web) / float64(db); ratio < 2 || ratio > 4.5 {
+		t.Errorf("3:1 weighting produced %d:%d (ratio %.2f)", web, db, ratio)
+	}
+	if got := c.TierInjections("web", metrics.CatHuman); got != web {
+		t.Errorf("TierInjections(web) = %d, observed %d", got, web)
+	}
+}
+
+// TestCampaignDomainBlackout: arrivals for a blacked-out domain slide
+// past the window.
+func TestCampaignDomainBlackout(t *testing.T) {
+	sim := simclock.New(8)
+	var arrivals []simclock.Time
+	c := NewCampaign(sim, func(cat metrics.Category, tier string, now simclock.Time) {
+		arrivals = append(arrivals, now)
+	})
+	c.Start([]Spec{{
+		Category: metrics.CatLSF, MeanInterarrival: 8 * simclock.Hour,
+		Domains: []Domain{{Tier: "frozen", Weight: 1, Blackouts: []Blackout{{From: 9, To: 17}}}},
+	}})
+	sim.RunUntil(120 * simclock.Day)
+	if len(arrivals) == 0 {
+		t.Fatal("no arrivals")
+	}
+	for _, at := range arrivals {
+		if h := at.HourOfDay(); h >= 9 && h < 17 {
+			t.Fatalf("arrival at %v falls in the 09-17 blackout (hour %d)", at, h)
+		}
+	}
+}
+
+// TestCampaignAllZeroDomainsSkipped: a spec whose domains all weigh zero
+// never fires.
+func TestCampaignAllZeroDomainsSkipped(t *testing.T) {
+	sim := simclock.New(3)
+	fired := false
+	c := NewCampaign(sim, func(metrics.Category, string, simclock.Time) { fired = true })
+	c.Start([]Spec{{
+		Category: metrics.CatHuman, MeanInterarrival: simclock.Hour,
+		Domains: []Domain{{Tier: "a", Weight: 0}, {Tier: "b", Weight: 0}},
+	}})
+	sim.RunUntil(30 * simclock.Day)
+	if fired {
+		t.Error("all-zero-weight spec fired")
 	}
 }

@@ -132,7 +132,14 @@ func (r *Rand) Pick(w []float64) int {
 			return i
 		}
 	}
-	return len(w) - 1
+	// Float roundoff can leave t at exactly zero after the last positive
+	// weight; land on that weight, never on a zero-weight trailer.
+	for i := len(w) - 1; i > 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return 0
 }
 
 // Fork derives an independent stream labelled by id, for giving subsystems

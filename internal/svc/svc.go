@@ -268,7 +268,7 @@ func (s *Service) Hang() {
 	}
 	for _, pid := range s.pids {
 		if p := s.Host.Proc(pid); p != nil {
-			p.State = cluster.ProcHung
+			s.Host.SetProcState(p, cluster.ProcHung)
 		}
 	}
 	s.state = StateHung

@@ -66,7 +66,25 @@ func DefaultConfig() Config {
 	}
 }
 
-// Generator drives load into a datacentre.
+// TierLoad is one tier's resolved workload-domain coefficients, compiled
+// by the site builder from the topology's per-tier workload specs (plus
+// any option overrides). Every field is a multiplicative weight; the
+// default domain is all ones (DefaultTierLoad).
+type TierLoad struct {
+	Share float64 // interactive analyst-share weight
+	Batch float64 // LSF-target batch-submission weight
+	Feed  float64 // market-feed load multiplier (transaction hosts)
+	Amp   float64 // diurnal amplitude: 1 = site shape, 0 = flat at peak
+}
+
+// DefaultTierLoad is the coefficients of an unspecified tier.
+func DefaultTierLoad() TierLoad { return TierLoad{Share: 1, Batch: 1, Feed: 1, Amp: 1} }
+
+// Generator drives load into a datacentre: a weighted multi-domain
+// scheduler in which interactive ambience, batch submission and feed load
+// each draw per tier domain. Without domains (SetDomains never called) it
+// collapses to the single global domain, byte-identical — in offered load
+// and random-stream consumption — to the pre-domain generator.
 type Generator struct {
 	sim  *simclock.Sim
 	rng  *simclock.Rand
@@ -77,6 +95,15 @@ type Generator struct {
 
 	dbNames []string // LSF execution targets users pick from
 	jobSeq  int
+
+	// Domain state (nil maps = single global domain). Compiled once from
+	// the topology; Reset keeps it, since reuse cannot change a topology.
+	tierOf  map[string]string   // host name -> tier name
+	tiers   map[string]TierLoad // tier name -> resolved coefficients
+	targetW []float64           // per-dbNames submission weight (nil = uniform)
+	// noTargets records an all-zero batch weighting: submissions stop
+	// entirely, as if the pool were empty.
+	noTargets bool
 
 	// Counters for reports.
 	JobsSubmitted int
@@ -97,6 +124,71 @@ func New(sim *simclock.Sim, cfg Config, dc *cluster.Datacentre, dir *svc.Directo
 // site-size scaling the caller applied, so tests can pin override
 // semantics.
 func (g *Generator) Config() Config { return g.cfg }
+
+// SetDomains installs the compiled per-tier workload domains: tierOf maps
+// host names to tier names and tiers carries each tier's resolved
+// coefficients (hosts or tiers missing from the maps default to all-ones).
+// Call it before Start; the domains survive Reset, since they derive from
+// the topology, which site reuse cannot change. Passing nil maps keeps
+// the single global domain.
+//
+// Note that installing domains changes the generator's random-stream
+// consumption (batch targets switch from an index draw to a weighted
+// draw), so only unspecified topologies — which never call SetDomains —
+// are byte-identical to the pre-domain generator.
+func (g *Generator) SetDomains(tierOf map[string]string, tiers map[string]TierLoad) {
+	g.tierOf = tierOf
+	g.tiers = tiers
+	g.targetW = nil
+	g.noTargets = false
+	if tiers == nil {
+		return
+	}
+	g.targetW = make([]float64, len(g.dbNames))
+	total := 0.0
+	for i, name := range g.dbNames {
+		g.targetW[i] = g.loadFor(g.targetHost(name)).Batch
+		total += g.targetW[i]
+	}
+	g.noTargets = len(g.dbNames) > 0 && total <= 0
+}
+
+// targetHost resolves an LSF target's host name through the directory
+// (falling back to the service name, which then maps to the default
+// domain).
+func (g *Generator) targetHost(service string) string {
+	if g.dir != nil {
+		if sv := g.dir.Get(service); sv != nil {
+			return sv.Host.Name
+		}
+	}
+	return service
+}
+
+// loadFor resolves one host's domain coefficients.
+func (g *Generator) loadFor(host string) TierLoad {
+	if g.tiers == nil {
+		return DefaultTierLoad()
+	}
+	if tl, ok := g.tiers[g.tierOf[host]]; ok {
+		return tl
+	}
+	return DefaultTierLoad()
+}
+
+// shaped applies a domain's diurnal amplitude to the site shape: 1 keeps
+// the shape bit-identically, 0 flattens the domain to constant peak load,
+// larger amplitudes exaggerate the swing (clamped at zero).
+func shaped(shape, amp float64) float64 {
+	if amp == 1 {
+		return shape
+	}
+	s := 1 - amp*(1-shape)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
 
 // Reset returns the generator to the state New leaves it in, drawing a
 // fresh stream fork exactly as New does. The caller passes the reseeded
@@ -141,34 +233,54 @@ func (g *Generator) nextTenPM() simclock.Time {
 
 // refreshInteractive retargets ambient load on front-end and database
 // hosts to the diurnal shape: analysts hammering GUIs and ad-hoc queries.
+// Analysts spread over the front-end hosts proportionally to their tier's
+// share; database and transaction ambience scale by the tier's share and
+// feed weights, each under the tier's own diurnal amplitude. With every
+// weight at its default the arithmetic reduces exactly (multiplications
+// by 1.0 are bit-exact) to the single global rule.
 func (g *Generator) refreshInteractive(now simclock.Time) {
 	shape := DiurnalShape(now)
 	fe := g.dc.ByRole(cluster.RoleFrontEnd)
 	db := g.dc.ByRole(cluster.RoleDatabase)
 	tx := g.dc.ByRole(cluster.RoleTransaction)
+	// Down hosts keep their share of the analyst population (users do not
+	// know the box is dead), matching the pre-domain even split.
+	var sumShare float64
+	for _, h := range fe {
+		sumShare += g.loadFor(h.Name).Share
+	}
 	for _, h := range fe {
 		if h.Up() {
-			// Analysts spread evenly; each costs ~0.02 CPUs on the front end.
-			perHost := float64(g.cfg.PeakAnalysts) / float64(len(fe))
-			h.SetAmbientLoad(shape * perHost * 0.02 * g.rng.Jitterf(0.2))
+			tl := g.loadFor(h.Name)
+			// Each analyst costs ~0.02 CPUs on the front end. With every
+			// front-end share at 0 there are no analysts to spread —
+			// guard the 0/0, which would otherwise poison the host's CPU
+			// accounting with NaN.
+			perHost := 0.0
+			if sumShare > 0 {
+				perHost = float64(g.cfg.PeakAnalysts) * tl.Share / sumShare
+			}
+			h.SetAmbientLoad(shaped(shape, tl.Amp) * perHost * 0.02 * g.rng.Jitterf(0.2))
 		}
 	}
 	for _, h := range db {
 		if h.Up() {
+			tl := g.loadFor(h.Name)
 			// Ad-hoc queries: a modest share of each database box.
-			h.SetAmbientLoad(shape * 0.25 * float64(h.Model.CPUs) * g.rng.Jitterf(0.3))
+			h.SetAmbientLoad(shaped(shape, tl.Amp) * 0.25 * float64(h.Model.CPUs) * tl.Share * g.rng.Jitterf(0.3))
 		}
 	}
 	for _, h := range tx {
 		if h.Up() {
-			h.SetAmbientLoad(shape * 0.3 * float64(h.Model.CPUs) * g.rng.Jitterf(0.25))
+			tl := g.loadFor(h.Name)
+			h.SetAmbientLoad(shaped(shape, tl.Amp) * 0.3 * float64(h.Model.CPUs) * tl.Feed * g.rng.Jitterf(0.25))
 		}
 	}
 }
 
 // submitDayJobs trickles batch work during the day.
 func (g *Generator) submitDayJobs(now simclock.Time) {
-	if g.lsfc == nil || len(g.dbNames) == 0 {
+	if g.lsfc == nil || len(g.dbNames) == 0 || g.noTargets {
 		return
 	}
 	n := int(g.cfg.DayJobsPerHour * DiurnalShape(now) * g.rng.Jitterf(0.3))
@@ -180,12 +292,22 @@ func (g *Generator) submitDayJobs(now simclock.Time) {
 // submitOvernightBatch drops the big overnight run at 22:00 — the jobs
 // whose mid-run database crashes dominate the paper's downtime.
 func (g *Generator) submitOvernightBatch(now simclock.Time) {
-	if g.lsfc == nil || len(g.dbNames) == 0 {
+	if g.lsfc == nil || len(g.dbNames) == 0 || g.noTargets {
 		return
 	}
 	for i := 0; i < g.cfg.OvernightJobs; i++ {
 		g.submitOne(now, true)
 	}
+}
+
+// pickTarget draws the execution target a user hand-picks: uniform over
+// the pool in the global domain, weighted by the target tier's batch
+// intensity when domains are installed.
+func (g *Generator) pickTarget() string {
+	if g.targetW == nil {
+		return g.dbNames[g.rng.Intn(len(g.dbNames))]
+	}
+	return g.dbNames[g.rng.Pick(g.targetW)]
 }
 
 // submitOne submits a job the way the site's users did: hand-picking a
@@ -196,7 +318,7 @@ func (g *Generator) submitOne(now simclock.Time, overnight bool) {
 	g.jobSeq++
 	name := fmt.Sprintf("analysis-%d", g.jobSeq)
 	user := fmt.Sprintf("analyst%d", g.rng.Intn(50)+1)
-	target := g.dbNames[g.rng.Intn(len(g.dbNames))]
+	target := g.pickTarget()
 	work := g.rng.Jitter(g.cfg.JobWork, 0.5)
 	cpu := 0.5 + g.rng.Float64()*1.5
 	mem := 128 + g.rng.Float64()*512
@@ -208,11 +330,12 @@ func (g *Generator) submitOne(now simclock.Time, overnight bool) {
 	g.JobsSubmitted++
 }
 
-// applyFeedLoad puts steady demand on transaction hosts for market feeds.
+// applyFeedLoad puts steady demand on transaction hosts for market feeds,
+// scaled by each host's feed-weight domain.
 func (g *Generator) applyFeedLoad() {
 	for _, h := range g.dc.ByRole(cluster.RoleTransaction) {
 		if h.Up() {
-			h.AddDiskActivity(0.2)
+			h.AddDiskActivity(0.2 * g.loadFor(h.Name).Feed)
 		}
 	}
 }

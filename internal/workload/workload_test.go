@@ -152,3 +152,68 @@ func TestFeedLoadOnTransactionHosts(t *testing.T) {
 		t.Error("feed load should keep transaction disks busy")
 	}
 }
+
+// TestDomainBatchWeighting pins the weighted target draw: with domains
+// installed, a tier at batch weight 3 receives roughly three times the
+// submissions of a weight-1 tier, and a zero-weight tier receives none.
+func TestDomainBatchWeighting(t *testing.T) {
+	r := newRig(t)
+	// dbA,dbB -> "hot" (weight 3); dbC -> "cold" (weight 0); dbD default.
+	tierOf := map[string]string{"dbA": "hot", "dbB": "hot", "dbC": "cold"}
+	tiers := map[string]TierLoad{
+		"hot":  {Share: 1, Batch: 3, Feed: 1, Amp: 1},
+		"cold": {Share: 1, Batch: 0, Feed: 1, Amp: 1},
+	}
+	r.gen.SetDomains(tierOf, tiers)
+	r.gen.Start()
+	r.sim.RunUntil(14 * simclock.Day)
+	byTarget := map[string]int{}
+	for _, j := range r.lsfc.Jobs() {
+		byTarget[j.WantServer]++
+	}
+	if n := byTarget["ORA-C"]; n != 0 {
+		t.Errorf("zero-weight target received %d jobs", n)
+	}
+	hot := byTarget["ORA-A"] + byTarget["ORA-B"]
+	def := byTarget["ORA-D"]
+	if def == 0 {
+		t.Fatal("default-weight target received nothing")
+	}
+	// Expected hot:def ratio is 6:1 (two hosts at weight 3 vs one at 1);
+	// assert a loose 3:1 to stay robust across seeds.
+	if hot < 3*def {
+		t.Errorf("weighted draw off: hot tier %d vs default %d", hot, def)
+	}
+}
+
+// TestDomainAllZeroBatchStopsSubmission: an all-zero weighting empties
+// the submission pool rather than panicking the weighted draw.
+func TestDomainAllZeroBatchStopsSubmission(t *testing.T) {
+	r := newRig(t)
+	tierOf := map[string]string{"dbA": "z", "dbB": "z", "dbC": "z", "dbD": "z"}
+	r.gen.SetDomains(tierOf, map[string]TierLoad{"z": {Share: 1, Batch: 0, Feed: 1, Amp: 1}})
+	r.gen.Start()
+	r.sim.RunUntil(3 * simclock.Day)
+	if r.gen.JobsSubmitted != 0 {
+		t.Errorf("all-zero batch weights still submitted %d jobs", r.gen.JobsSubmitted)
+	}
+}
+
+// TestDomainsSurviveReset: Reset rewinds counters and streams but keeps
+// the topology-derived domain state.
+func TestDomainsSurviveReset(t *testing.T) {
+	r := newRig(t)
+	tierOf := map[string]string{"dbC": "cold"}
+	r.gen.SetDomains(tierOf, map[string]TierLoad{"cold": {Share: 1, Batch: 0, Feed: 1, Amp: 1}})
+	r.gen.Start()
+	r.sim.RunUntil(2 * simclock.Day)
+	r.gen.Stop()
+	r.gen.Reset(r.sim.Rand())
+	r.gen.Start()
+	r.sim.RunUntil(4 * simclock.Day)
+	for _, j := range r.lsfc.Jobs() {
+		if j.WantServer == "ORA-C" {
+			t.Fatal("excluded target resurfaced after Reset")
+		}
+	}
+}

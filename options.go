@@ -61,6 +61,18 @@ type Options struct {
 	// numbers are exactly what the generator offers. nil = DefaultConfig
 	// scaled to the site's LSF-target pool.
 	Workload *workload.Config
+	// TierWorkloads overrides per-tier workload specs by tier name. An
+	// entry replaces the topology's spec for that tier wholesale (it does
+	// not merge); tiers without an entry keep their topology spec.
+	TierWorkloads map[string]WorkloadSpec
+	// TierFaults overrides per-tier fault specs by tier name, with the
+	// same replace-not-merge semantics as TierWorkloads.
+	TierFaults map[string]FaultsSpec
+	// TierFaultScale multiplies the resolved per-tier fault selection
+	// weight — every category at once — by tier name: the campaign's
+	// per-tier fault-intensity axis. It composes with (multiplies into)
+	// topology specs and TierFaults overrides.
+	TierFaultScale map[string]float64
 	// BaselineMonitors installs BMC-style monitors on every database host
 	// (always installed in ModeManual on database hosts regardless).
 	BaselineMonitors bool
@@ -105,6 +117,40 @@ func WithNoFaults() Option { return func(o *Options) { o.Faults = []faultinject.
 // WithWorkload overrides the offered load verbatim (see Options.Workload:
 // no site-size scaling, no OvernightJobs floor).
 func WithWorkload(cfg workload.Config) Option { return func(o *Options) { o.Workload = &cfg } }
+
+// WithTierWorkload replaces one tier's workload spec (see
+// Options.TierWorkloads). The spec is validated by NewSite exactly as a
+// topology-declared one would be.
+func WithTierWorkload(tier string, ws WorkloadSpec) Option {
+	return func(o *Options) {
+		if o.TierWorkloads == nil {
+			o.TierWorkloads = map[string]WorkloadSpec{}
+		}
+		o.TierWorkloads[tier] = ws
+	}
+}
+
+// WithTierFaults replaces one tier's fault spec (see Options.TierFaults).
+func WithTierFaults(tier string, fs FaultsSpec) Option {
+	return func(o *Options) {
+		if o.TierFaults == nil {
+			o.TierFaults = map[string]FaultsSpec{}
+		}
+		o.TierFaults[tier] = fs
+	}
+}
+
+// WithTierFaultScale multiplies one tier's resolved fault weight across
+// every category (see Options.TierFaultScale) — the per-tier
+// fault-intensity knob campaigns sweep as a matrix axis.
+func WithTierFaultScale(tier string, scale float64) Option {
+	return func(o *Options) {
+		if o.TierFaultScale == nil {
+			o.TierFaultScale = map[string]float64{}
+		}
+		o.TierFaultScale[tier] = scale
+	}
+}
 
 // WithBaselineMonitors installs BMC-style monitors on database hosts even
 // in ModeAgents (the Figure-3/4 side-by-side rig).

@@ -14,9 +14,13 @@ import (
 // reports: downtime hours per error category, detection latencies by time
 // window, incident MTTRs, and batch-job outcomes.
 type Report struct {
-	Mode        Mode
-	At          simclock.Time
-	Rows        []metrics.Summary
+	Mode Mode
+	At   simclock.Time
+	Rows []metrics.Summary
+	// Tiers is the per-tier downtime breakdown, in topology order. It is
+	// populated only for tiered sites (per-tier workload or fault domains
+	// in play); untiered sites keep the site-global report unchanged.
+	Tiers       []TierSummary
 	Total       simclock.Time
 	MeanDetect  simclock.Time
 	P95Detect   simclock.Time
@@ -33,6 +37,34 @@ type Report struct {
 	OpenFaults  int
 }
 
+// TierSummary is one tier's slice of the incident ledger: how many
+// incidents landed on the tier's hosts and the downtime they cost.
+type TierSummary struct {
+	Tier      string
+	Incidents int
+	Downtime  simclock.Time
+}
+
+// TierSummaries computes the per-tier downtime breakdown at now, in
+// topology declaration order. Incidents on hosts outside every tier (the
+// mode-added administration pair) would be skipped; no injector targets
+// them today.
+func (s *Site) TierSummaries(now simclock.Time) []TierSummary {
+	idx := make(map[string]int, len(s.Topo.Tiers))
+	out := make([]TierSummary, len(s.Topo.Tiers))
+	for i, tier := range s.Topo.Tiers {
+		idx[tier.Name] = i
+		out[i].Tier = tier.Name
+	}
+	for _, inc := range s.Ledger.Incidents() {
+		if i, ok := idx[s.tierOf[inc.Host]]; ok {
+			out[i].Incidents++
+			out[i].Downtime += inc.Downtime(now)
+		}
+	}
+	return out
+}
+
 // Report computes the current summary.
 func (s *Site) Report() Report {
 	now := s.Sim.Now()
@@ -41,6 +73,9 @@ func (s *Site) Report() Report {
 		At:    now,
 		Rows:  s.Ledger.Summaries(now),
 		Total: s.Ledger.TotalDowntime(now),
+	}
+	if s.Tiered() {
+		r.Tiers = s.TierSummaries(now)
 	}
 	lats := s.Ledger.DetectionLatencies(nil)
 	r.MeanDetect = metrics.Mean(lats)
@@ -75,6 +110,9 @@ func (r Report) Format() string {
 		fmt.Fprintf(&b, "%-16s %10d %10.1f\n", row.Category, row.Incidents, row.Downtime.Hours())
 	}
 	fmt.Fprintf(&b, "%-16s %10s %10.1f\n", "TOTAL", "", r.Total.Hours())
+	for _, row := range r.Tiers {
+		fmt.Fprintf(&b, "tier %-11s %10d %10.1f\n", row.Tier, row.Incidents, row.Downtime.Hours())
+	}
 	fmt.Fprintf(&b, "detection: mean=%v p95=%v day=%v overnight=%v weekend=%v\n",
 		round(r.MeanDetect), round(r.P95Detect), round(r.DetectDay), round(r.DetectNight), round(r.DetectWkend))
 	fmt.Fprintf(&b, "repair:    mean MTTR=%v\n", round(r.MeanMTTR))
@@ -92,11 +130,23 @@ func round(t simclock.Time) simclock.Time {
 
 // FormatCampaign renders a campaign result as aggregate tables with
 // uncertainty: one table per matrix group, each metric as
-// mean ± 95%-CI half-width with the min/max envelope over seeds.
+// mean ± 95%-CI half-width with the min/max envelope over seeds. In
+// multi-group campaigns every group after the first also gets a
+// significance column: the two-sided p-value of its difference from the
+// first group on that metric — a paired t-test on per-seed differences
+// when the metric is present in every error-free trial of both cells
+// (the matrix replicates cells over the same seed list), Welch's
+// unequal-variance t-test when errors or conditionally-emitted metrics
+// broke the seed alignment. Low p means the cells genuinely differ; "-"
+// means too few samples to test.
 func FormatCampaign(r *campaign.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== campaign %s: %d trials, %d groups ===\n", r.Name, len(r.Trials), len(r.Groups))
-	for _, g := range r.Groups {
+	var samples []map[string][]float64
+	if len(r.Groups) > 1 {
+		samples = r.GroupSamples()
+	}
+	for gi, g := range r.Groups {
 		b.WriteByte('\n')
 		fmt.Fprintf(&b, "--- %s", GroupLabel(g))
 		fmt.Fprintf(&b, " (%d seeds", g.Seeds)
@@ -104,10 +154,26 @@ func FormatCampaign(r *campaign.Result) string {
 			fmt.Fprintf(&b, ", %d FAILED", g.Errors)
 		}
 		b.WriteString(") ---\n")
-		fmt.Fprintf(&b, "%-28s %12s %10s %12s %12s\n", "metric", "mean", "±95% CI", "min", "max")
+		fmt.Fprintf(&b, "%-28s %12s %10s %12s %12s", "metric", "mean", "±95% CI", "min", "max")
+		if samples != nil && gi > 0 {
+			fmt.Fprintf(&b, " %10s", "p-vs-first")
+		}
+		b.WriteByte('\n')
 		for _, name := range g.MetricNames() {
 			s := g.Stats[name]
-			fmt.Fprintf(&b, "%-28s %12.3f %10.3f %12.3f %12.3f\n", name, s.Mean, s.CI95, s.Min, s.Max)
+			fmt.Fprintf(&b, "%-28s %12.3f %10.3f %12.3f %12.3f", name, s.Mean, s.CI95, s.Min, s.Max)
+			if samples != nil && gi > 0 {
+				base := r.Groups[0]
+				// Pairing by seed is only sound when the metric is present
+				// in every error-free trial of both cells: conditionally
+				// emitted metrics (a seed with no matching incidents
+				// reports nothing) would otherwise pair sample i of one
+				// cell against a different seed's sample in the other.
+				pairOK := base.Errors == 0 && g.Errors == 0 && base.Seeds == g.Seeds &&
+					len(samples[0][name]) == base.Seeds && len(samples[gi][name]) == g.Seeds
+				b.WriteString(" " + significance(samples[0][name], samples[gi][name], pairOK))
+			}
+			b.WriteByte('\n')
 		}
 	}
 	if errs := r.Errs(); len(errs) > 0 {
@@ -118,6 +184,17 @@ func FormatCampaign(r *campaign.Result) string {
 		}
 	}
 	return b.String()
+}
+
+// significance renders one metric's p-value cell against the baseline
+// group: the per-seed paired test when the caller established the
+// samples align seed for seed, Welch's otherwise.
+func significance(base, cell []float64, paired bool) string {
+	res, ok := campaign.TTest(base, cell, paired)
+	if !ok {
+		return fmt.Sprintf("%10s", "-")
+	}
+	return fmt.Sprintf("%10.4f", res.P)
 }
 
 // GroupLabel names the non-seed coordinates of a group, skipping blank
@@ -154,6 +231,9 @@ func GroupLabel(g campaign.Group) string {
 	}
 	if g.Overrides != "" {
 		parts = append(parts, "overrides="+g.Overrides)
+	}
+	if g.TierFaults != "" {
+		parts = append(parts, "tierfaults="+g.TierFaults)
 	}
 	if len(parts) == 0 {
 		return "all"

@@ -1,6 +1,7 @@
 package qoscluster
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -42,12 +43,15 @@ func TestFormatCampaign(t *testing.T) {
 }
 
 // TestFormatCampaignGolden pins the campaign tables byte for byte on
-// hand-computed fixtures, CI bands included:
+// hand-computed fixtures, CI bands and significance included:
 //
 //	{1,2,3}: mean 2, stddev 1,  CI95 = 4.303·1/√3 = 2.484…
 //	{2,4,6}: mean 4, stddev 2,  CI95 = 4.303·2/√3 = 4.969…
 //	{1,2,3,4}: mean 2.5, stddev √(5/3), CI95 = 3.182·√(5/3)/2 = 2.054…
 //	{9}: singleton — zero spread, zero CI
+//
+// The cron sweep's second cell pairs with the first by seed: differences
+// {1,2,3}, t = 2/(1/√3) = 3.464, df 2, two-sided p = 0.0742…
 func TestFormatCampaignGolden(t *testing.T) {
 	cases := []struct {
 		name string
@@ -78,8 +82,8 @@ metric                               mean    ±95% CI          min          max
 detect_s                            2.000      2.484        1.000        3.000
 
 --- scenario=ablate-cron mode=agents days=30 cron=5m0s (3 seeds) ---
-metric                               mean    ±95% CI          min          max
-detect_s                            4.000      4.969        2.000        6.000
+metric                               mean    ±95% CI          min          max p-vs-first
+detect_s                            4.000      4.969        2.000        6.000     0.0742
 `,
 		},
 		{
@@ -149,5 +153,67 @@ func TestFormatCampaignFailedTrials(t *testing.T) {
 	out := FormatCampaign(res)
 	if !strings.Contains(out, "1 FAILED") || !strings.Contains(out, "kaboom") {
 		t.Errorf("failed trial not surfaced:\n%s", out)
+	}
+}
+
+// TestSignificancePairingRequiresFullSamples: a metric missing from some
+// seeds (conditionally emitted) must fall back to Welch even when both
+// groups happen to have equal-length samples — equal length alone does
+// not mean the samples align seed for seed.
+func TestSignificancePairingRequiresFullSamples(t *testing.T) {
+	m := campaign.Matrix{
+		Seeds: campaign.Seeds(1, 4),
+		Modes: []string{"manual", "agents"},
+	}
+	fn := func(tr campaign.Trial) (map[string]float64, error) {
+		vals := map[string]float64{"always": float64(tr.Seed)}
+		// "sometimes" skips seed 4 in the first cell and seed 3 in the
+		// second: both cells end with 3 samples, but misaligned.
+		skip := uint64(4)
+		v := float64(tr.Seed)
+		if tr.Mode == "agents" {
+			skip = 3
+			v *= 2
+		}
+		if tr.Seed != skip {
+			vals["sometimes"] = v
+		}
+		return vals, nil
+	}
+	res, err := campaign.Run("partial", m, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCampaign(res)
+	// The full metric pairs: diffs {1,2,3,4} → t = mean/sd/√n = 2.5/(1.291/2)
+	// = 3.873, df 3, p = 0.0305. The partial metric must use Welch over
+	// {1,2,3} vs {2,4,8}... i.e. NOT the paired p over those vectors.
+	base, cell := []float64{1, 2, 3}, []float64{2, 4, 8}
+	welch, _ := campaign.TTest(base, cell, false)
+	pairedWrong, _ := campaign.TTest(base, cell, true)
+	wantWelch := fmt.Sprintf("%10.4f", welch.P)
+	wrong := fmt.Sprintf("%10.4f", pairedWrong.P)
+	if wantWelch == wrong {
+		t.Fatalf("test fixture cannot distinguish welch %s from paired %s", wantWelch, wrong)
+	}
+	// Only the second group's table carries the p column; skip the
+	// baseline group's rows.
+	lines := strings.Split(out, "\n")
+	found := false
+	inSecond := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "--- mode=agents") {
+			inSecond = true
+		}
+		if inSecond && strings.HasPrefix(line, "sometimes") {
+			found = true
+			if !strings.Contains(line, strings.TrimSpace(wantWelch)) {
+				t.Errorf("partial metric row %q; want the Welch p %s, not the misaligned paired p %s",
+					line, wantWelch, wrong)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no 'sometimes' row in the second group's table")
 	}
 }

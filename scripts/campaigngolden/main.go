@@ -1,0 +1,55 @@
+// Command campaigngolden regenerates the checked-in campaign-JSON golden
+// files (testdata/campaign-golden-<site>-<mode>.json) that
+// TestCampaignGoldenNoTierSpecs compares against. The goldens pin the
+// campaign output of topologies *without* per-tier workload/fault specs,
+// so refactors of the workload generator or fault campaign cannot drift
+// the reproduced numbers for unspecified topologies.
+//
+// Only regenerate deliberately — after a change that is *supposed* to
+// move the default numbers — and say so in the commit message:
+//
+//	go run ./scripts/campaigngolden
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/experiments"
+	"repro/internal/campaign"
+)
+
+func main() {
+	for _, site := range []string{"paper", "small"} {
+		for _, mode := range []string{"manual", "agents"} {
+			m := campaign.Matrix{
+				Seeds:     campaign.Seeds(7, 2),
+				Scenarios: []string{"year"},
+				Sites:     []string{site},
+				Modes:     []string{mode},
+				Days:      1,
+			}
+			res, err := campaign.Run("golden", m, 1, experiments.RunTrial)
+			if err != nil {
+				fatal(err)
+			}
+			if errs := res.Errs(); len(errs) > 0 {
+				fatal(fmt.Errorf("%s-%s: %d failed trials; first: %s", site, mode, len(errs), errs[0].Err))
+			}
+			js, err := res.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			path := fmt.Sprintf("testdata/campaign-golden-%s-%s.json", site, mode)
+			if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(js)+1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaigngolden:", err)
+	os.Exit(1)
+}

@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
+	"math"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/svc"
 )
 
@@ -49,6 +53,158 @@ type Tier struct {
 	IPBlock string `json:"ip_block"`
 	// Services are deployed per host, in order.
 	Services []ServiceTemplate `json:"services,omitempty"`
+	// Workload optionally scopes the site's offered load for this tier.
+	// nil inherits the single global workload rule (every tier weight 1),
+	// which is byte-identical to the pre-domain generator.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Faults optionally scopes the fault campaign for this tier. nil
+	// means weight 1 for every category with no blackout windows.
+	Faults *FaultsSpec `json:"faults,omitempty"`
+}
+
+// WorkloadSpec is a tier's workload domain: how the site's offered load
+// lands on this tier relative to the others. Every field is a
+// multiplicative weight defaulting to 1; nil fields inherit the default,
+// so a spec can adjust one axis without restating the rest. Weight 0 is
+// explicit exclusion. A topology in which no tier declares a spec offers
+// exactly the pre-domain global load.
+type WorkloadSpec struct {
+	// AnalystShare weights the tier's slice of interactive analyst load:
+	// front-end-role hosts split the configured peak-analyst population
+	// proportionally to their tier's share, and database-host ambient
+	// query load on the tier scales by it directly. (Transaction-host
+	// ambience is feed processing and follows FeedWeight instead.)
+	AnalystShare *float64 `json:"analyst_share,omitempty"`
+	// BatchIntensity weights the tier's LSF targets in batch-submission
+	// draws — the day trickle and the 22:00 overnight drop alike. 0
+	// removes the tier's targets from the submission pool (they still
+	// serve cross-tier dependencies and batch rescue).
+	BatchIntensity *float64 `json:"batch_intensity,omitempty"`
+	// FeedWeight scales the market-data feed load on the tier's
+	// transaction-role hosts (ambient CPU and disk activity).
+	FeedWeight *float64 `json:"feed_weight,omitempty"`
+	// DiurnalAmplitude scales the tier's day/night swing around the peak:
+	// 1 follows the site's diurnal shape, 0 flattens the tier to constant
+	// peak-level load (a 24h estate), values up to 2 exaggerate the
+	// swing (the shape clamps at zero load).
+	DiurnalAmplitude *float64 `json:"diurnal_amplitude,omitempty"`
+}
+
+// FaultsSpec is a tier's fault domain: how the site-wide fault campaign
+// lands on this tier. The campaign's category arrival processes are
+// unchanged; domains bias which tier each arrival breaks. Weights are
+// relative shares over the tiers the category can actually break —
+// tiers with nothing the category's injector targets (no LSF targets
+// for mid-crash, no front-end services for front-end, ...) are excluded
+// automatically, so a weight on the only eligible tier is a no-op.
+type FaultsSpec struct {
+	// Rates maps a Figure-2 category name (e.g. "mid-crash", "human") to
+	// this tier's selection-weight multiplier for that category. Unlisted
+	// categories keep weight 1; 0 excludes the tier from a category.
+	Rates map[string]float64 `json:"rates,omitempty"`
+	// Only restricts the tier to the listed categories: any category not
+	// named gets weight 0 here. Empty means no restriction.
+	Only []string `json:"only,omitempty"`
+	// Blackouts are recurring daily windows during which no fault lands
+	// on the tier; arrivals drawn inside one slide forward past its end,
+	// the same first-order bias as the campaign's arrival windows.
+	Blackouts []Blackout `json:"blackouts,omitempty"`
+}
+
+// Blackout is a recurring daily hour window [FromHour, ToHour) in which
+// a tier receives no fault arrivals. ToHour <= FromHour wraps past
+// midnight, so {22, 6} covers the overnight hours.
+type Blackout struct {
+	FromHour int `json:"from_hour"`
+	ToHour   int `json:"to_hour"`
+}
+
+// Weight is a convenience for building WorkloadSpec values in Go: the
+// optional weight fields are pointers (absent means "inherit default 1"),
+// and Weight(v) is the literal-friendly way to set one.
+func Weight(v float64) *float64 { return &v }
+
+// validWeight vets one optional weight field.
+func validWeight(tier, field string, p *float64, max float64) error {
+	if p == nil {
+		return nil
+	}
+	if math.IsNaN(*p) || math.IsInf(*p, 0) || *p < 0 || *p > max {
+		return fmt.Errorf("tier %q: workload %s %v out of range [0, %g]", tier, field, *p, max)
+	}
+	return nil
+}
+
+func (ws *WorkloadSpec) validate(tier string) error {
+	if ws == nil {
+		return nil
+	}
+	if err := validWeight(tier, "analyst_share", ws.AnalystShare, 1e6); err != nil {
+		return err
+	}
+	if err := validWeight(tier, "batch_intensity", ws.BatchIntensity, 1e6); err != nil {
+		return err
+	}
+	if err := validWeight(tier, "feed_weight", ws.FeedWeight, 1e6); err != nil {
+		return err
+	}
+	return validWeight(tier, "diurnal_amplitude", ws.DiurnalAmplitude, 2)
+}
+
+// knownCategory reports whether name is one of the Figure-2 categories.
+func knownCategory(name string) bool {
+	return slices.Contains(metrics.Categories, metrics.Category(name))
+}
+
+func categoryNames() string {
+	names := make([]string, len(metrics.Categories))
+	for i, c := range metrics.Categories {
+		names[i] = string(c)
+	}
+	return strings.Join(names, ", ")
+}
+
+func (fs *FaultsSpec) validate(tier string) error {
+	if fs == nil {
+		return nil
+	}
+	// Map iteration is unordered; sort the keys so a multi-error spec
+	// always reports the same first problem.
+	for _, cat := range slices.Sorted(maps.Keys(fs.Rates)) {
+		if !knownCategory(cat) {
+			return fmt.Errorf("tier %q: fault rate for unknown category %q (known: %s)", tier, cat, categoryNames())
+		}
+		if r := fs.Rates[cat]; math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return fmt.Errorf("tier %q: fault rate %v for category %q (want a finite multiplier >= 0)", tier, r, cat)
+		}
+	}
+	for _, cat := range fs.Only {
+		if !knownCategory(cat) {
+			return fmt.Errorf("tier %q: faults.only names unknown category %q (known: %s)", tier, cat, categoryNames())
+		}
+	}
+	covered := [24]bool{}
+	for _, b := range fs.Blackouts {
+		if b.FromHour < 0 || b.FromHour > 23 || b.ToHour < 0 || b.ToHour > 23 {
+			return fmt.Errorf("tier %q: blackout {%d,%d} hours out of range [0,23]", tier, b.FromHour, b.ToHour)
+		}
+		if b.FromHour == b.ToHour {
+			return fmt.Errorf("tier %q: blackout {%d,%d} is a full day; a tier cannot be blacked out around the clock",
+				tier, b.FromHour, b.ToHour)
+		}
+		for h := b.FromHour; h != b.ToHour; h = (h + 1) % 24 {
+			covered[h] = true
+		}
+	}
+	for h := 0; ; h++ {
+		if h == 24 {
+			return fmt.Errorf("tier %q: blackouts cover all 24 hours; faults could never land", tier)
+		}
+		if !covered[h] {
+			break
+		}
+	}
+	return nil
 }
 
 // ServiceTemplate stamps one service kind across a tier's hosts.
@@ -180,6 +336,12 @@ func (t Topology) Validate() error {
 			if err := st.validate(tier.Name); err != nil {
 				return err
 			}
+		}
+		if err := tier.Workload.validate(tier.Name); err != nil {
+			return err
+		}
+		if err := tier.Faults.validate(tier.Name); err != nil {
+			return err
 		}
 	}
 	// Expand the templates: service names must be unique site-wide
@@ -447,8 +609,13 @@ func SmallTopology() Topology { return paperShaped("small", "UK", 6, 2, 3) }
 
 // WebFarmTopology is a front-end-heavy web estate: a small database core
 // feeding a large commodity web tier and a GUI tier — the opposite load
-// shape to the paper's database-dominated site. Interactive pressure
-// lands on the (many) front-end-role hosts while the batch pool is tiny.
+// shape to the paper's database-dominated site. Its per-tier domains make
+// the divergence real rather than cosmetic: the web tier carries three
+// analyst-shares of near-flat interactive load, and the human-error,
+// firewall and hardware fault categories land mostly on its commodity
+// boxes (fault weights are relative shares over the tiers a category can
+// actually break — mid-job crashes always hit the batch core, the only
+// tier with execution targets).
 func WebFarmTopology() Topology {
 	return Topology{
 		Name: "webfarm", Geo: "UK",
@@ -458,26 +625,35 @@ func WebFarmTopology() Topology {
 				Services: []ServiceTemplate{
 					{Kind: "oracle", Name: "ORA-%03d", Port: 1521, LSFTarget: true},
 					{Kind: "lsf", Name: "LSF-{host}"},
-				}},
+				},
+				Workload: &WorkloadSpec{BatchIntensity: Weight(0.5)},
+				Faults:   &FaultsSpec{Rates: map[string]float64{"human": 0.5, "hardware": 0.5}}},
 			{Name: "web", Role: "frontend", Hosts: 18, IPBlock: "10.5.0",
 				Hardware: []string{"linux-x86", "linux-x86", "SP2"},
 				Services: []ServiceTemplate{
 					{Kind: "webserver", Name: "WEB-%03d", Port: 8080, PortStep: 1},
-				}},
+				},
+				Workload: &WorkloadSpec{AnalystShare: Weight(3), DiurnalAmplitude: Weight(0.5)},
+				Faults:   &FaultsSpec{Rates: map[string]float64{"human": 2, "fw/nw": 2.5, "hardware": 2}}},
 			{Name: "fe", Role: "frontend", Hosts: 10, IPBlock: "10.4.0",
 				Hardware: []string{"SP2"},
 				Services: []ServiceTemplate{
 					{Kind: "frontend", Name: "FE-%03d", Port: 9000, PortStep: 1, DependsOn: "db"},
-				}},
+				},
+				Workload: &WorkloadSpec{AnalystShare: Weight(1.5)}},
 		},
 	}
 }
 
 // ComputeFarmTopology is a batch-dominated compute farm: twenty heavy
 // execution hosts (every one an LSF target), a token pair of feed
-// handlers and a minimal GUI tier. The workload generator scales
-// submissions with the target pool, so overnight batch — the paper's
-// dominant failure trigger — is the main offered load here.
+// handlers and a minimal GUI tier. Its per-tier domains put the offered
+// load where a farm has it — double batch intensity and a quarter of the
+// analyst ambience on the compute tier, running nearly flat around the
+// clock — and bias faults the same way: hardware failures cluster on the
+// execution hosts (weight 2 over the other tiers), the feed pair enjoys
+// an overnight change freeze, and the GUI tier only ever sees front-end,
+// human and network errors.
 func ComputeFarmTopology() Topology {
 	return Topology{
 		Name: "computefarm", Geo: "UK",
@@ -487,17 +663,26 @@ func ComputeFarmTopology() Topology {
 				Services: []ServiceTemplate{
 					{Kind: "oracle", Name: "CDB-%03d", Port: 1521, LSFTarget: true},
 					{Kind: "lsf", Name: "LSF-{host}"},
-				}},
+				},
+				Workload: &WorkloadSpec{
+					AnalystShare:     Weight(0.25),
+					BatchIntensity:   Weight(2),
+					DiurnalAmplitude: Weight(0.25),
+				},
+				Faults: &FaultsSpec{Rates: map[string]float64{"hardware": 2}}},
 			{Name: "feed", Role: "transaction", Hosts: 2, IPBlock: "10.3.0",
 				Hardware: []string{"E450"},
 				Services: []ServiceTemplate{
 					{Kind: "feedhandler", Name: "FEED-%03d", Port: 7000, PortStep: 1},
-				}},
+				},
+				Workload: &WorkloadSpec{FeedWeight: Weight(2)},
+				Faults:   &FaultsSpec{Blackouts: []Blackout{{FromHour: 22, ToHour: 6}}}},
 			{Name: "fe", Role: "frontend", Hosts: 2, IPBlock: "10.4.0",
 				Hardware: []string{"SP2"},
 				Services: []ServiceTemplate{
 					{Kind: "frontend", Name: "FE-%03d", Port: 8000, PortStep: 1, DependsOn: "compute"},
-				}},
+				},
+				Faults: &FaultsSpec{Only: []string{"front-end", "human", "fw/nw"}}},
 		},
 	}
 }
