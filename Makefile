@@ -8,7 +8,7 @@ PKGS := ./...
 # not when tee does.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test test-race bench bench-agentday perf-proof lint staticcheck fmt campaign-smoke topology-smoke benchdiff clean
+.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke benchdiff clean
 
 all: lint build test
 
@@ -29,22 +29,44 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' $(PKGS)
 
 # The perf-gate data points: the agent cron hot loop on the scaled and
-# paper-size sites plus the pooled-vs-fresh campaign trial pair, with
-# -benchmem so scripts/benchdiff gates allocs/op alongside ns/op.
-# Repeated (-count 3) so the best-of values compared are stable.
-BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh)$$
+# paper-size sites, the pooled-vs-fresh campaign trial pair, and the
+# 10k-host megasite day, with -benchmem so scripts/benchdiff gates
+# allocs/op alongside ns/op. Repeated (-count 3) so the best-of values
+# compared are stable.
+BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh|BenchmarkMegaSiteDay)$$
 
 bench-agentday:
 	$(GO) test -bench '$(BENCH_GATE)' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-agentday.txt
 
-# Speedup proof against the checked-in seed artifact: BenchmarkAgentDay
+# Speedup proofs against the checked-in seed artifacts: BenchmarkAgentDay
 # must be at least 2x faster than the pre-optimisation engine
-# (testdata/bench-agentday-seed.txt, recorded at the fast-path PR).
-# Hardware-sensitive: meaningful on a machine comparable to the one that
-# recorded the artifact, so it is a local target, not a CI gate.
+# (testdata/bench-agentday-seed.txt, recorded at the fast-path PR), and
+# BenchmarkMegaSiteDay at least 2x faster than the per-service reference
+# probe path (testdata/bench-megasite-seed.txt, recorded by
+# `make megasite-seed` — an honest baseline, since no pre-probe engine
+# could schedule a 10k-host site at all). Hardware-sensitive: meaningful
+# on a machine comparable to the one that recorded the artifacts, so they
+# are local targets, not CI gates.
 perf-proof:
 	$(GO) test -bench '^BenchmarkAgentDay$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-proof.txt
 	$(GO) run ./scripts/benchdiff -improvement 2 testdata/bench-agentday-seed.txt bench-proof.txt
+	$(GO) test -bench '^BenchmarkMegaSiteDay$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-megasite-proof.txt
+	$(GO) run ./scripts/benchdiff -improvement 2 testdata/bench-megasite-seed.txt bench-megasite-proof.txt
+
+# Re-record the megasite speedup baseline: BenchmarkMegaSiteDay with the
+# probe engine forced onto its per-service reference path.
+megasite-seed:
+	MEGASITE_REFERENCE=1 $(GO) test -bench '^BenchmarkMegaSiteDay$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee testdata/bench-megasite-seed.txt
+
+# Regenerate the campaign goldens and fail on any diff against the
+# checked-in testdata/campaign-golden-*.json — the CI step that keeps the
+# byte-identity gate's expectations from silently going stale.
+golden-check:
+	$(GO) run ./scripts/campaigngolden
+	git diff --exit-code -- testdata/campaign-golden-paper-manual.json \
+		testdata/campaign-golden-paper-agents.json \
+		testdata/campaign-golden-small-manual.json \
+		testdata/campaign-golden-small-agents.json
 
 # Short real campaigns whose JSON summaries feed the perf trajectory; CI
 # uploads campaign-smoke.json and ablate-smoke.json as build artifacts.
@@ -65,6 +87,13 @@ topology-smoke:
 	$(GO) run ./cmd/qossim campaign -trials 2 -workers 4 -days 2 -seed 7 \
 		-site testdata/topology-tiers.json -tierfaults ';cache=2' \
 		-out tiers-smoke.json before
+
+# Megasite smoke: one-seed manual-year run on the 10k-host site, proving
+# datacentre scale works end to end through the CLI; CI uploads
+# megasite-smoke.json alongside the other topology artifacts.
+megasite-smoke:
+	$(GO) run ./cmd/qossim campaign -trials 1 -workers 1 -days 2 -seed 7 \
+		-site megasite -out megasite-smoke.json before
 
 # Compare two bench data points (fails on >20% ns/op regression):
 #   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
@@ -90,4 +119,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json bench.txt bench-agentday.txt bench-proof.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt

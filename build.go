@@ -19,6 +19,7 @@ import (
 	"repro/internal/notify"
 	"repro/internal/ontology"
 	"repro/internal/operators"
+	"repro/internal/probe"
 	"repro/internal/simclock"
 	"repro/internal/svc"
 	"repro/internal/workload"
@@ -44,6 +45,7 @@ type Site struct {
 	Admin    *adminsrv.Pair // nil in ModeManual
 	Monitors []*baseline.Monitor
 	Agents   []*agent.Agent
+	Probes   *probe.Engine // nil unless a probe spec is in effect
 
 	dbServices []string          // LSF execution targets, in deployment order
 	tierOf     map[string]string // host name -> topology tier name
@@ -77,6 +79,9 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 	if err := validateTierOverrides(topo, opts); err != nil {
 		return nil, fmt.Errorf("topology %q: %w", topo.Name, err)
 	}
+	if err := opts.Probes.validate(); err != nil {
+		return nil, fmt.Errorf("topology %q: options: %w", topo.Name, err)
+	}
 	if opts.CronPeriod <= 0 {
 		opts.CronPeriod = 5 * simclock.Minute
 	}
@@ -102,8 +107,57 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 		return nil, err
 	}
 	s.buildLSF()
+	s.buildProbes()
 	s.wireRepairPipeline()
 	return s, nil
+}
+
+// resolvedProbes returns the effective probe spec: the functional-option
+// override wins, else the topology's, else nil (no probe engine).
+func (s *Site) resolvedProbes() *ProbeSpec {
+	if s.Opts.Probes != nil {
+		return s.Opts.Probes
+	}
+	return s.Topo.Probes
+}
+
+// buildProbes assembles the batched probe dispatcher when a probe spec is
+// in effect: each tier's services register in deployment order, and a
+// failing probe feeds the fault registry's detection path — the
+// manual-mode detection channel that stands in for per-host agents at
+// scales where deploying them is infeasible. DetectFault is idempotent,
+// so on agent-run sites probes and agents race to detect harmlessly.
+// Sites without a spec build no engine and schedule nothing, keeping the
+// existing byte-for-byte replay.
+func (s *Site) buildProbes() {
+	ps := s.resolvedProbes()
+	if ps == nil {
+		return
+	}
+	period := simclock.Time(ps.PeriodMinutes) * simclock.Minute
+	if period <= 0 {
+		period = s.Opts.CronPeriod
+	}
+	slots := ps.Slots
+	if slots <= 0 {
+		slots = DefaultProbeSlots
+	}
+	s.Probes = probe.New(probe.Config{
+		Sim: s.Sim, Period: period, Slots: slots,
+		Reference: s.Opts.ReferenceProbes,
+		OnFail: func(sv *svc.Service, _ svc.ProbeResult, now simclock.Time) {
+			if f := s.Registry.Find(sv.Host.Name, agents.ServiceAspect(sv.Spec.Name)); f != nil {
+				s.Registry.DetectFault(f, now, "probe")
+			}
+		},
+	})
+	for _, tier := range s.Topo.Tiers {
+		var members []*svc.Service
+		for i := 0; i < tier.Hosts; i++ {
+			members = append(members, s.Dir.OnHost(tier.hostName(i))...)
+		}
+		s.Probes.AddTier(tier.Name, members)
+	}
 }
 
 func (s *Site) buildNetworks() {
@@ -400,6 +454,9 @@ func (s *Site) Run(until simclock.Time) error {
 			}
 		}
 		if s.deployErr == nil {
+			if s.Probes != nil {
+				s.Probes.Start()
+			}
 			s.Campaign = faultinject.NewCampaign(s.Sim, s.inject)
 			s.Campaign.Start(s.faultSpecs())
 		}
@@ -459,6 +516,9 @@ func (s *Site) Reset(seed uint64) error {
 	s.Agents = nil
 	s.Campaign = nil
 	s.cron = nil
+	if s.Probes != nil {
+		s.Probes.Reset()
+	}
 	s.started = false
 	s.deployErr = nil
 	s.ranTo = 0

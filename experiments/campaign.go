@@ -360,6 +360,7 @@ func ReferenceRunTrial(t campaign.Trial) (map[string]float64, error) {
 		return nil, err
 	}
 	opts.ReferenceScheduler = true
+	opts.ReferenceProbes = true
 	site, err := buildNamedSite(t.Site, t.Seed, qoscluster.WithOptions(opts))
 	if err != nil {
 		return nil, err

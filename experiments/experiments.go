@@ -61,7 +61,7 @@ func ResolveSites(args []string) ([]string, error) {
 	used := map[string]string{} // resolved name -> the arg that claimed it
 	for _, arg := range args {
 		name := arg
-		if _, ok := qoscluster.TopologyByName(arg); !ok {
+		if _, ok := qoscluster.ResolveTopology(arg); !ok {
 			topo, err := qoscluster.LoadTopologyFile(arg)
 			if err != nil {
 				return nil, fmt.Errorf("site %q: not a registered topology (%s) and not loadable as a topology file: %w",
@@ -93,7 +93,7 @@ func buildNamedSite(name string, seed uint64, opts ...qoscluster.Option) (*qoscl
 	if name == "" {
 		name = "small"
 	}
-	topo, ok := qoscluster.TopologyByName(name)
+	topo, ok := qoscluster.ResolveTopology(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown site topology %q (registered: %s)",
 			name, strings.Join(qoscluster.TopologyNames(), ", "))

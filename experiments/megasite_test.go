@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestMegaSiteEquivalence is the optimisation gate for the batched probe
+// dispatcher, the probe analogue of TestWheelResetEquivalence: on
+// mid-size megasite family members — big enough that every tier spreads
+// across multiple batch slots, small enough to run as a test — the
+// campaign JSON from the optimised path (coalesced batch walks, pooled
+// Reset reuse) must be byte-identical to the reference path (one
+// independent scheduler event per service probe, fresh site per trial).
+// megasite-600 covers the family's manual-operations shape at a scale
+// with hundreds of probed services; megasite-150 additionally runs
+// ModeAgents, so probe detection racing agent detection is pinned too.
+//
+// If this test fails, the batched dispatcher has drifted a reproduced
+// number; fix the engine, do not regenerate expectations.
+func TestMegaSiteEquivalence(t *testing.T) {
+	cells := []struct {
+		site string
+		mode string
+	}{
+		{"megasite-600", "manual"},
+		{"megasite-150", "manual"},
+		{"megasite-150", "agents"},
+	}
+	for _, cell := range cells {
+		t.Run(fmt.Sprintf("%s-%s", cell.site, cell.mode), func(t *testing.T) {
+			t.Parallel()
+			if testing.Short() && cell.site == "megasite-600" {
+				t.Skip("600-host reference path is the long cell; run without -short for the full gate")
+			}
+			m := campaign.Matrix{
+				Seeds:     campaign.Seeds(7, 2),
+				Scenarios: []string{"year"},
+				Sites:     []string{cell.site},
+				Modes:     []string{cell.mode},
+				Days:      1,
+			}
+			ref, err := campaign.Run("mega-equivalence", m, 1, ReferenceRunTrial)
+			if err != nil {
+				t.Fatalf("reference campaign: %v", err)
+			}
+			if errs := ref.Errs(); len(errs) > 0 {
+				t.Fatalf("reference campaign had %d failed trials; first: %s", len(errs), errs[0].Err)
+			}
+			want, err := ref.JSON()
+			if err != nil {
+				t.Fatalf("reference JSON: %v", err)
+			}
+			for _, workers := range []int{1, 8} {
+				res, err := campaign.Run("mega-equivalence", m, workers, NewPooledRunFunc())
+				if err != nil {
+					t.Fatalf("pooled campaign (%d workers): %v", workers, err)
+				}
+				got, err := res.JSON()
+				if err != nil {
+					t.Fatalf("pooled JSON (%d workers): %v", workers, err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("batched probe path diverged from reference (site %s, mode %s, %d workers):\n%s",
+						cell.site, cell.mode, workers, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}

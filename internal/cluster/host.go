@@ -81,9 +81,21 @@ type Host struct {
 	// (cpuDemand, MemUsedMB — called by every agent run and microstate
 	// account) cost O(1) instead of a process-table walk. Kept in the same
 	// per-process rounded integer micro-units the walk summed, so the
-	// aggregate is bit-identical to the walk in any mutation order.
-	aggCPUMicro int64 // Σ cpuQuantum over active processes
-	aggMemMicro int64 // Σ memQuantum over memory-holding processes
+	// aggregate is bit-identical to the walk in any mutation order. The
+	// values live in a struct-of-arrays StatsBank slot — private until the
+	// host joins a Datacentre, shared and densely indexed after — so
+	// datacentre-scale walks read them linearly.
+	bank *StatsBank
+	slot int
+
+	// Process-count indexes by process name, maintained on the same
+	// mutation paths as the demand aggregates, so CountProcs and
+	// CountHungProcs (every service health check, every probe walk) are
+	// map lookups instead of process-table scans. Entries are deleted at
+	// zero: job processes carry unique per-job names, and a year of batch
+	// churn must not grow the maps unboundedly.
+	procCount map[string]int32
+	hungCount map[string]int32
 
 	// procFree recycles Process objects through the spawn/kill churn of
 	// short-lived agent processes. Callers must not retain *Process across
@@ -108,7 +120,10 @@ func NewHost(sim *simclock.Sim, name, ip string, model HardwareModel, role Role,
 		procs: make(map[int]*Process),
 		users: make(map[string]int),
 		// PIDs start above the "kernel" range for realism in ps output.
-		nextPID: 100,
+		nextPID:   100,
+		bank:      soloBank(),
+		procCount: make(map[string]int32),
+		hungCount: make(map[string]int32),
 	}
 }
 
@@ -130,8 +145,10 @@ func (h *Host) Reset() {
 	h.nicErrors = 0
 	h.sensorFaults = nil
 	h.lastAccounted = 0
-	h.aggCPUMicro = 0
-	h.aggMemMicro = 0
+	h.bank.cpuMicro[h.slot] = 0
+	h.bank.memMicro[h.slot] = 0
+	clear(h.procCount)
+	clear(h.hungCount)
 	h.FS.Reset()
 }
 
@@ -156,8 +173,18 @@ func memQuantum(p *Process) int64 {
 // account adds (sign +1) or removes (sign -1) a process from the running
 // demand aggregates.
 func (h *Host) account(p *Process, sign int64) {
-	h.aggCPUMicro += sign * cpuQuantum(p)
-	h.aggMemMicro += sign * memQuantum(p)
+	h.bank.cpuMicro[h.slot] += sign * cpuQuantum(p)
+	h.bank.memMicro[h.slot] += sign * memQuantum(p)
+}
+
+// countHung adjusts the hung-process index for one process by delta,
+// deleting the entry at zero.
+func (h *Host) countHung(name string, delta int32) {
+	if n := h.hungCount[name] + delta; n == 0 {
+		delete(h.hungCount, name)
+	} else {
+		h.hungCount[name] = n
+	}
 }
 
 // SetProcState transitions a process's scheduling state, keeping the
@@ -168,9 +195,15 @@ func (h *Host) SetProcState(p *Process, st ProcState) {
 	if p == nil || p.State == st {
 		return
 	}
+	if p.State == ProcHung {
+		h.countHung(p.Name, -1)
+	}
 	h.account(p, -1)
 	p.State = st
 	h.account(p, +1)
+	if p.State == ProcHung {
+		h.countHung(p.Name, +1)
+	}
 }
 
 // SetProcDemand updates a process's CPU and memory demand, keeping the
@@ -199,8 +232,10 @@ func (h *Host) Crash() {
 	h.users = make(map[string]int)
 	h.extraLoad = 0
 	h.diskActivity = 0
-	h.aggCPUMicro = 0
-	h.aggMemMicro = 0
+	h.bank.cpuMicro[h.slot] = 0
+	h.bank.memMicro[h.slot] = 0
+	clear(h.procCount)
+	clear(h.hungCount)
 }
 
 // HardwareFail marks the host as needing physical repair.
@@ -283,6 +318,7 @@ func (h *Host) Spawn(name, user, args string, cpuDemand, memMB float64) *Process
 	}
 	h.procs[p.PID] = p
 	h.account(p, +1)
+	h.procCount[p.Name]++
 	return p
 }
 
@@ -295,6 +331,14 @@ func (h *Host) Kill(pid int) bool {
 	}
 	h.accountMicrostates()
 	h.account(p, -1)
+	if n := h.procCount[p.Name] - 1; n == 0 {
+		delete(h.procCount, p.Name)
+	} else {
+		h.procCount[p.Name] = n
+	}
+	if p.State == ProcHung {
+		h.countHung(p.Name, -1)
+	}
 	delete(h.procs, pid)
 	h.procFree = append(h.procFree, p)
 	return true
@@ -326,27 +370,14 @@ func (h *Host) PGrep(name string) []*Process {
 
 // CountProcs reports how many processes have exactly the given name — the
 // allocation-free pgrep -c that hot monitoring paths use in place of
-// len(PGrep(name)).
-func (h *Host) CountProcs(name string) int {
-	n := 0
-	for _, p := range h.procs {
-		if p.Name == name {
-			n++
-		}
-	}
-	return n
-}
+// len(PGrep(name)). Served from the name-count index maintained on
+// spawn/kill, so probe walks over thousands of services do not scan
+// process tables.
+func (h *Host) CountProcs(name string) int { return int(h.procCount[name]) }
 
-// CountHungProcs reports how many processes with the given name are hung.
-func (h *Host) CountHungProcs(name string) int {
-	n := 0
-	for _, p := range h.procs {
-		if p.Name == name && p.State == ProcHung {
-			n++
-		}
-	}
-	return n
-}
+// CountHungProcs reports how many processes with the given name are hung,
+// from the index SetProcState maintains.
+func (h *Host) CountHungProcs(name string) int { return int(h.hungCount[name]) }
 
 // NProcs reports the process count.
 func (h *Host) NProcs() int { return len(h.procs) }
@@ -411,7 +442,7 @@ func (h *Host) ClearNICErrors() { h.nicErrors = 0 }
 // last ulp with mutation order and leak into probe latencies, breaking
 // bit-for-bit replay).
 func (h *Host) cpuDemand() float64 {
-	return float64(int64(h.extraLoad*1e6+0.5)+h.aggCPUMicro) * 1e-6
+	return float64(int64(h.extraLoad*1e6+0.5)+h.bank.cpuMicro[h.slot]) * 1e-6
 }
 
 // CPUUtilisation reports overall utilisation in [0,1].
@@ -443,7 +474,7 @@ func (h *Host) MemUsedMB() float64 {
 	if h.state != HostUp {
 		return 0
 	}
-	micro := int64(float64(h.Model.MemoryMB)*0.05*1e6+0.5) + h.aggMemMicro // kernel + buffers
+	micro := int64(float64(h.Model.MemoryMB)*0.05*1e6+0.5) + h.bank.memMicro[h.slot] // kernel + buffers
 	used := float64(micro) * 1e-6
 	if used > float64(h.Model.MemoryMB) {
 		used = float64(h.Model.MemoryMB)

@@ -1,0 +1,206 @@
+// Package probe is the site-wide batched health-probe dispatcher that
+// makes datacentre-scale sites tractable. Every service is probed once
+// per cycle; instead of one repeating scheduler event per service (tens
+// of thousands of heap entries on a megasite), each tier's members are
+// split across a handful of evenly-phased batch slots and one coalesced
+// wheel entry per (tier, slot) walks its contiguous member range. Probe
+// bookkeeping (last exit code, consecutive-failure streak) is held in
+// struct-of-arrays slices indexed like the member slice, so a batch walk
+// is a linear scan.
+//
+// The engine consumes no random numbers and mutates no simulation state
+// beyond its own bookkeeping: a probe reads the service and reports
+// failures through the OnFail hook. Reference mode schedules one
+// independent repeating event per member at the same instants — because
+// same-instant events fire in FIFO scheduling order, which equals the
+// batch's walk order, the two paths are behaviourally identical; the
+// equivalence tests pin exactly that. (As with the cron wheel, work
+// scheduled by an OnFail callback for the precise instant of a *later*
+// probe in the same batch would interleave differently between the two
+// paths — unreachable in practice, since repair delays are drawn from
+// continuous distributions.)
+package probe
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+	"repro/internal/svc"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	Sim *simclock.Sim
+	// Period is the probe cycle length; every member is probed once per
+	// period. Must be positive.
+	Period simclock.Time
+	// Slots is the number of batch slots each tier's members are spread
+	// across. Must be positive; slots beyond a tier's member count walk
+	// nothing and are skipped.
+	Slots int
+	// Reference disables coalescing: one independent repeating event per
+	// member service, the semantics baseline the batched path is
+	// equivalence-tested against.
+	Reference bool
+	// OnFail is invoked for every failing probe (nil: failures are only
+	// counted).
+	OnFail func(s *svc.Service, res svc.ProbeResult, now simclock.Time)
+}
+
+// tierSched is one tier's probe schedule: a dense member slice in
+// deployment order plus struct-of-arrays bookkeeping indexed like it.
+type tierSched struct {
+	name       string
+	members    []*svc.Service
+	lastExit   []int8  // last probe exit code (ExitOK..ExitTimeout fit int8)
+	failStreak []int32 // consecutive failing probes
+}
+
+// Engine owns the probe schedules for one site. Zero value is unusable;
+// use New.
+type Engine struct {
+	cfg     Config
+	tiers   []*tierSched
+	wheel   *simclock.Wheel
+	started bool
+
+	probes  int64 // probes issued
+	fails   int64 // failing probes
+	batches int64 // batch walks fired (batched path only)
+}
+
+// New returns an engine with no tiers registered.
+func New(cfg Config) *Engine {
+	if cfg.Sim == nil {
+		panic("probe: Config.Sim is nil")
+	}
+	if cfg.Period <= 0 {
+		panic(fmt.Sprintf("probe: non-positive period %v", cfg.Period))
+	}
+	if cfg.Slots <= 0 {
+		panic(fmt.Sprintf("probe: non-positive slot count %d", cfg.Slots))
+	}
+	return &Engine{cfg: cfg}
+}
+
+// AddTier registers a tier's member services in deployment order. The
+// slice is retained (not copied); callers hand over ownership. Adding
+// after Start panics — schedules are laid out once.
+func (e *Engine) AddTier(name string, members []*svc.Service) {
+	if e.started {
+		panic("probe: AddTier after Start")
+	}
+	e.tiers = append(e.tiers, &tierSched{
+		name:       name,
+		members:    members,
+		lastExit:   make([]int8, len(members)),
+		failStreak: make([]int32, len(members)),
+	})
+}
+
+// Start lays out the schedules: tier t's slot s first fires at
+// now + (s+1)·Period/Slots and then every Period, walking the slot's
+// contiguous member range. Slot phases are deterministic functions of the
+// configuration — no randomness — so the schedule replays identically.
+func (e *Engine) Start() {
+	if e.started {
+		panic("probe: Start called twice")
+	}
+	e.started = true
+	now := e.cfg.Sim.Now()
+	for _, t := range e.tiers {
+		for s := 0; s < e.cfg.Slots; s++ {
+			lo := s * len(t.members) / e.cfg.Slots
+			hi := (s + 1) * len(t.members) / e.cfg.Slots
+			if lo == hi {
+				continue
+			}
+			start := now + simclock.Time(s+1)*e.cfg.Period/simclock.Time(e.cfg.Slots)
+			if e.cfg.Reference {
+				for i := lo; i < hi; i++ {
+					t, i := t, i
+					e.cfg.Sim.Every(start, e.cfg.Period,
+						"probe:"+t.members[i].Spec.Name,
+						func(nw simclock.Time) { e.probeOne(t, i, nw) })
+				}
+				continue
+			}
+			if e.wheel == nil {
+				e.wheel = simclock.NewWheel(e.cfg.Sim)
+			}
+			t, lo, hi := t, lo, hi
+			e.wheel.Add(start, e.cfg.Period,
+				fmt.Sprintf("probe:%s[%d:%d]", t.name, lo, hi),
+				func(nw simclock.Time) {
+					e.batches++
+					for i := lo; i < hi; i++ {
+						e.probeOne(t, i, nw)
+					}
+				})
+		}
+	}
+}
+
+// probeOne issues one probe and updates the slot's bookkeeping.
+func (e *Engine) probeOne(t *tierSched, i int, now simclock.Time) {
+	res := t.members[i].Probe()
+	e.probes++
+	t.lastExit[i] = int8(res.ExitCode)
+	if res.OK() {
+		t.failStreak[i] = 0
+		return
+	}
+	t.failStreak[i]++
+	e.fails++
+	if e.cfg.OnFail != nil {
+		e.cfg.OnFail(t.members[i], res, now)
+	}
+}
+
+// Reset returns the engine to its pre-Start state for site reuse: the
+// simulator's Reset has already dropped the scheduled events, so only the
+// bookkeeping and counters are cleared. Tier membership is retained —
+// pooled site reuse resets services in place.
+func (e *Engine) Reset() {
+	e.started = false
+	e.wheel = nil
+	e.probes, e.fails, e.batches = 0, 0, 0
+	for _, t := range e.tiers {
+		clear(t.lastExit)
+		clear(t.failStreak)
+	}
+}
+
+// Probes reports the probes issued since Start (or Reset).
+func (e *Engine) Probes() int64 { return e.probes }
+
+// Fails reports the failing probes since Start (or Reset).
+func (e *Engine) Fails() int64 { return e.fails }
+
+// Batches reports the coalesced batch walks fired; 0 in reference mode.
+func (e *Engine) Batches() int64 { return e.batches }
+
+// Tiers reports the number of registered tiers.
+func (e *Engine) Tiers() int { return len(e.tiers) }
+
+// LastExit reports the most recent probe exit code for the i-th member of
+// the named tier (deployment order), or -1 if the tier or index is
+// unknown. Exposed for tests and diagnostics.
+func (e *Engine) LastExit(tier string, i int) int {
+	for _, t := range e.tiers {
+		if t.name == tier && i >= 0 && i < len(t.lastExit) {
+			return int(t.lastExit[i])
+		}
+	}
+	return -1
+}
+
+// FailStreak reports the i-th member's consecutive-failure count, or -1.
+func (e *Engine) FailStreak(tier string, i int) int {
+	for _, t := range e.tiers {
+		if t.name == tier && i >= 0 && i < len(t.failStreak) {
+			return int(t.failStreak[i])
+		}
+	}
+	return -1
+}

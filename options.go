@@ -89,6 +89,16 @@ type Options struct {
 	// the reference path exists so the gate has something independent to
 	// compare the optimised engine against.
 	ReferenceScheduler bool
+	// Probes overrides the topology's probe-dispatcher spec: non-nil
+	// enables (or reconfigures) the batched probe engine regardless of
+	// what the topology declares. nil keeps the topology's spec.
+	Probes *ProbeSpec
+	// ReferenceProbes runs the probe engine with one independent repeating
+	// event per service instead of coalesced batch walks — the probe
+	// analogue of ReferenceScheduler, and the baseline TestMegaSite
+	// equivalence compares the batched dispatcher against. Meaningless
+	// unless a probe spec is in effect.
+	ReferenceProbes bool
 }
 
 // Option is a functional scenario option for NewSite.
@@ -168,6 +178,15 @@ func WithOperatorTiming(t operators.Timing) Option { return func(o *Options) { o
 // WithReferenceScheduler selects the per-agent ticker scheduling path that
 // the coalesced cron wheel is equivalence-tested against.
 func WithReferenceScheduler() Option { return func(o *Options) { o.ReferenceScheduler = true } }
+
+// WithProbes overrides the topology's probe-dispatcher spec (see
+// Options.Probes); WithProbes(ProbeSpec{}) enables the engine with
+// defaults on a topology that declares none.
+func WithProbes(ps ProbeSpec) Option { return func(o *Options) { o.Probes = &ps } }
+
+// WithReferenceProbes selects the per-service probe scheduling path that
+// the batched dispatcher is equivalence-tested against.
+func WithReferenceProbes() Option { return func(o *Options) { o.ReferenceProbes = true } }
 
 // WithOptions replaces the whole Options struct — the bridge for callers
 // (like campaign trials) that assemble an Options value directly and

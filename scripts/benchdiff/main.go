@@ -254,8 +254,16 @@ func diffCampaign(oldPath, newPath string, threshold float64) ([]string, error) 
 			drifts = append(drifts, fmt.Sprintf("%s: %.3f → %.3f (%+.1f%%)", k, o, n, delta*100))
 		}
 	}
+	// Inside GitHub Actions, report-only drift is easy to lose in the log;
+	// emit workflow-command warning annotations so each drifted metric
+	// surfaces on the run summary and the PR checks page instead.
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
 	for _, d := range drifts {
-		fmt.Println("  drift " + d)
+		if annotate {
+			fmt.Printf("::warning title=campaign metric drift::%s\n", d)
+		} else {
+			fmt.Println("  drift " + d)
+		}
 	}
 	fmt.Printf("campaign diff: %d comparable metrics, %d drifted beyond %.0f%%\n", len(keys), len(drifts), threshold*100)
 	return drifts, nil

@@ -33,6 +33,45 @@ type Topology struct {
 	// therefore the simulation's RNG consumption) is fully determined by
 	// the declaration, so the same topology always builds the same site.
 	Tiers []Tier `json:"tiers"`
+	// Probes, when non-nil, enables the batched probe dispatcher: every
+	// service is health-probed once per cycle by per-tier coalesced batch
+	// schedules instead of per-service events — the engine that makes
+	// datacentre-scale sites tractable. nil (every pre-existing topology)
+	// changes nothing: sites without a spec schedule no probes and stay
+	// byte-identical to the pre-probe engine.
+	Probes *ProbeSpec `json:"probes,omitempty"`
+}
+
+// DefaultProbeSlots is the per-tier batch count a ProbeSpec with Slots 0
+// gets: enough phase spread to avoid a thundering herd, few enough that a
+// tier of hundreds of services still coalesces to a handful of scheduler
+// events per cycle.
+const DefaultProbeSlots = 8
+
+// ProbeSpec configures the site-wide probe dispatcher. Each cycle, every
+// tier's member services are probed exactly once, split across Slots
+// evenly-phased batches; one scheduler event per (tier, slot) walks its
+// contiguous slice of members. The zero value means defaults everywhere.
+type ProbeSpec struct {
+	// Slots is the number of coalesced batches per tier per cycle
+	// (0 = DefaultProbeSlots).
+	Slots int `json:"slots,omitempty"`
+	// PeriodMinutes is the probe cycle length in minutes (0 = the agents'
+	// 5-minute cron).
+	PeriodMinutes int `json:"period_minutes,omitempty"`
+}
+
+func (ps *ProbeSpec) validate() error {
+	if ps == nil {
+		return nil
+	}
+	if ps.Slots < 0 || ps.Slots > 4096 {
+		return fmt.Errorf("probes: %d slots out of range [0, 4096]", ps.Slots)
+	}
+	if ps.PeriodMinutes < 0 || ps.PeriodMinutes > 1440 {
+		return fmt.Errorf("probes: period %d minutes out of range [0, 1440]", ps.PeriodMinutes)
+	}
+	return nil
 }
 
 // Tier is one homogeneous-role block of hosts.
@@ -48,8 +87,12 @@ type Tier struct {
 	// Model names come from cluster.Models (E10K, E4500, E450, E220R,
 	// Ultra10, HP-K, HP-T, SP2, linux-x86).
 	Hardware []string `json:"hardware"`
-	// IPBlock is the tier's /24 prefix ("10.2.0"); host i gets .i+1.
-	// "10.1.0" is reserved for the administration tier.
+	// IPBlock is the tier's base /24 prefix ("10.2.0"); host i gets
+	// .i+1. A tier larger than 254 hosts spans consecutive /24 blocks by
+	// incrementing the third octet ("10.2.0", "10.2.1", ...), so one
+	// declared block serves a datacentre-scale tier; Validate rejects
+	// spans that run past .255 or overlap another tier's span. "10.1.0"
+	// is reserved for the administration tier.
 	IPBlock string `json:"ip_block"`
 	// Services are deployed per host, in order.
 	Services []ServiceTemplate `json:"services,omitempty"`
@@ -239,6 +282,42 @@ type ServiceTemplate struct {
 // adminIPBlock is where ModeAgents puts the administration pair.
 const adminIPBlock = "10.1.0"
 
+// hostsPerBlock is the usable host addresses in one /24 block (.1–.254).
+const hostsPerBlock = 254
+
+// splitIPBlock parses a /24 prefix like "10.2.0" into its two-octet
+// network prefix ("10.2") and third-octet base (0), rejecting anything
+// that is not three in-range numeric octets. Tiers spanning multiple
+// blocks increment the base, so it must be genuinely numeric — "10.02.x"
+// or "10.two.0" would make the span arithmetic meaningless.
+func splitIPBlock(block string) (prefix string, base int, err error) {
+	parts := strings.Split(block, ".")
+	if len(parts) != 3 {
+		return "", 0, fmt.Errorf("IP block %q (want a /24 prefix like \"10.2.0\")", block)
+	}
+	octets := [3]int{}
+	for i, p := range parts {
+		n := 0
+		if p == "" || len(p) > 3 || (len(p) > 1 && p[0] == '0') {
+			return "", 0, fmt.Errorf("IP block %q: octet %q (want a plain decimal 0-255)", block, p)
+		}
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return "", 0, fmt.Errorf("IP block %q: octet %q (want a plain decimal 0-255)", block, p)
+			}
+			n = n*10 + int(r-'0')
+		}
+		if n > 255 {
+			return "", 0, fmt.Errorf("IP block %q: octet %d out of range 0-255", block, n)
+		}
+		octets[i] = n
+	}
+	return parts[0] + "." + parts[1], octets[2], nil
+}
+
+// ipBlocks reports how many consecutive /24 blocks the tier's hosts span.
+func (t Tier) ipBlocks() int { return (t.Hosts + hostsPerBlock - 1) / hostsPerBlock }
+
 // roleFor maps a tier's declared role onto the cluster role.
 func roleFor(role string) (cluster.Role, error) {
 	switch role {
@@ -290,8 +369,19 @@ func (t Topology) Validate() error {
 	if len(t.Tiers) == 0 {
 		return fmt.Errorf("topology %q declares no tiers", t.Name)
 	}
+	if err := t.Probes.validate(); err != nil {
+		return fmt.Errorf("topology %q: %w", t.Name, err)
+	}
+	// Each tier's hosts occupy a contiguous span of /24 blocks starting at
+	// its declared base; spans under the same two-octet prefix must not
+	// overlap each other or the reserved administration block.
+	type ipSpan struct {
+		tier   string
+		lo, hi int // inclusive third-octet range
+	}
+	adminPrefix, adminBase, _ := splitIPBlock(adminIPBlock)
 	tierNames := map[string]bool{}
-	ipBlocks := map[string]string{}
+	ipSpans := map[string][]ipSpan{adminPrefix: {{tier: "", lo: adminBase, hi: adminBase}}}
 	for _, tier := range t.Tiers {
 		if tier.Name == "" {
 			return fmt.Errorf("tier with no name")
@@ -306,10 +396,6 @@ func (t Topology) Validate() error {
 		if tier.Hosts <= 0 {
 			return fmt.Errorf("tier %q: %d hosts (want > 0)", tier.Name, tier.Hosts)
 		}
-		if tier.Hosts > 254 {
-			return fmt.Errorf("tier %q: %d hosts exceeds the 254 addresses of IP block %s; split the tier",
-				tier.Name, tier.Hosts, tier.IPBlock)
-		}
 		if _, err := roleFor(tier.Role); err != nil {
 			return fmt.Errorf("tier %q: %w", tier.Name, err)
 		}
@@ -322,16 +408,26 @@ func (t Topology) Validate() error {
 					tier.Name, model, strings.Join(modelNames(), ", "))
 			}
 		}
-		if strings.Count(tier.IPBlock, ".") != 2 {
-			return fmt.Errorf("tier %q: IP block %q (want a /24 prefix like \"10.2.0\")", tier.Name, tier.IPBlock)
+		prefix, base, err := splitIPBlock(tier.IPBlock)
+		if err != nil {
+			return fmt.Errorf("tier %q: %w", tier.Name, err)
 		}
-		if tier.IPBlock == adminIPBlock {
-			return fmt.Errorf("tier %q: IP block %s is reserved for the administration tier", tier.Name, adminIPBlock)
+		span := ipSpan{tier: tier.Name, lo: base, hi: base + tier.ipBlocks() - 1}
+		if span.hi > 255 {
+			return fmt.Errorf("tier %q: %d hosts spans /24 blocks %s.%d through .%d, exhausting the IP space past .255; lower the block base or split the tier",
+				tier.Name, tier.Hosts, prefix, span.lo, span.hi)
 		}
-		if prev, dup := ipBlocks[tier.IPBlock]; dup {
-			return fmt.Errorf("tiers %q and %q share IP block %s", prev, tier.Name, tier.IPBlock)
+		for _, other := range ipSpans[prefix] {
+			if span.lo > other.hi || span.hi < other.lo {
+				continue
+			}
+			if other.tier == "" {
+				return fmt.Errorf("tier %q: IP block %s is reserved for the administration tier", tier.Name, adminIPBlock)
+			}
+			return fmt.Errorf("tiers %q and %q share IP block %s.%d (spans .%d-.%d and .%d-.%d overlap)",
+				other.tier, tier.Name, prefix, max(span.lo, other.lo), other.lo, other.hi, span.lo, span.hi)
 		}
-		ipBlocks[tier.IPBlock] = tier.Name
+		ipSpans[prefix] = append(ipSpans[prefix], span)
 		for _, st := range tier.Services {
 			if err := st.validate(tier.Name); err != nil {
 				return err
@@ -348,15 +444,22 @@ func (t Topology) Validate() error {
 	// (svc.Directory is name-keyed), and per-tier LSF-target counts are
 	// taken over expanded instances — a target template whose cycle/phases
 	// select no host provides nothing.
-	// Host names cannot collide: tier names are unique and every host
-	// name is the tier name plus exactly three digits (Hosts <= 254
-	// keeps %03d from widening), so equal host names would force equal
-	// tier names.
+	// Host names are checked explicitly: the ordinal suffix widens past
+	// three digits on large tiers, so digit-suffixed tier names can
+	// collide (tier "web" host 2001 is "web2001" — also tier "web2" host
+	// 1). The map costs one insert per host and makes the uniqueness
+	// argument hold at any scale.
+	hostSeen := map[string]string{} // host name -> tier
 	seen := map[string]string{}
 	targets := map[string]int{} // tier name -> expanded LSF-target instances
 	for _, tier := range t.Tiers {
 		for i := 0; i < tier.Hosts; i++ {
 			host := tier.hostName(i)
+			if prev, dup := hostSeen[host]; dup && prev != tier.Name {
+				return fmt.Errorf("host name %q expands in both tier %q and tier %q (digit-suffixed tier names collide once ordinals widen; rename a tier)",
+					host, prev, tier.Name)
+			}
+			hostSeen[host] = tier.Name
 			for _, st := range tier.Services {
 				if !st.appliesTo(i) {
 					continue
@@ -444,7 +547,22 @@ func validTierName(name string) bool {
 
 func (t Tier) hostName(i int) string { return fmt.Sprintf("%s%03d", t.Name, i+1) }
 
-func (t Tier) hostIP(i int) string { return fmt.Sprintf("%s.%d", t.IPBlock, i+1) }
+// hostIP addresses the tier's i-th host. The first 254 hosts live in the
+// declared block (byte-identical to the single-block scheme every
+// pre-existing topology used); later hosts spill into consecutive /24
+// blocks by incrementing the third octet, as Validate guarantees is safe.
+func (t Tier) hostIP(i int) string {
+	if i < hostsPerBlock {
+		return fmt.Sprintf("%s.%d", t.IPBlock, i+1)
+	}
+	prefix, base, err := splitIPBlock(t.IPBlock)
+	if err != nil {
+		// Unvalidated tier with an unparseable block: keep the legacy
+		// single-block form rather than inventing an address.
+		return fmt.Sprintf("%s.%d", t.IPBlock, i+1)
+	}
+	return fmt.Sprintf("%s.%d.%d", prefix, base+i/hostsPerBlock, i%hostsPerBlock+1)
+}
 
 func (t Tier) hardwareFor(i int) cluster.HardwareModel {
 	m, _ := cluster.ModelByName(t.Hardware[i%len(t.Hardware)])
@@ -541,9 +659,50 @@ func TopologyNames() []string {
 	return names
 }
 
+// ResolveTopology returns the named topology, synthesising parameterised
+// families on demand: beyond the registered names, "megasite-N" builds,
+// registers and returns MegaSiteTopology(N) on first use, so
+// `-site megasite-25000` works without a registration step.
+func ResolveTopology(name string) (Topology, bool) {
+	if t, ok := TopologyByName(name); ok {
+		return t, true
+	}
+	n, ok := megaSiteHosts(name)
+	if !ok {
+		return Topology{}, false
+	}
+	t := MegaSiteTopology(n)
+	if err := RegisterTopology(t); err != nil {
+		return Topology{}, false
+	}
+	return t, true
+}
+
+// megaSiteHosts parses "megasite-N" into its host count, rejecting
+// malformed or out-of-range names.
+func megaSiteHosts(name string) (int, bool) {
+	num, ok := strings.CutPrefix(name, "megasite-")
+	if !ok || num == "" || len(num) > 6 || num[0] == '0' {
+		return 0, false
+	}
+	n := 0
+	for _, r := range num {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n < megaSiteMinHosts || n > megaSiteMaxHosts {
+		return 0, false
+	}
+	return n, true
+}
+
 func init() {
+	mega := MegaSiteTopology(10000)
+	mega.Name = "megasite"
 	for _, t := range []Topology{
-		PaperTopology(), SmallTopology(), WebFarmTopology(), ComputeFarmTopology(),
+		PaperTopology(), SmallTopology(), WebFarmTopology(), ComputeFarmTopology(), mega,
 	} {
 		if err := RegisterTopology(t); err != nil {
 			panic(err) // built-in topologies must validate
@@ -643,6 +802,71 @@ func WebFarmTopology() Topology {
 				Workload: &WorkloadSpec{AnalystShare: Weight(1.5)}},
 		},
 	}
+}
+
+// Megasite family bounds. The web remainder is cut into chunks of at
+// most webChunkHosts so every chunk's /24 span fits one second-octet
+// prefix (256 blocks x 254 addresses); the 130000-host ceiling keeps the
+// chunk letters within "web-a".."web-z" with plenty of slack.
+const (
+	megaSiteMinHosts = 100
+	megaSiteMaxHosts = 130000
+	webChunkHosts    = 60000
+)
+
+// MegaSiteTopology is the datacentre-scale site family: a database core
+// of ~1% of the hosts (every one an LSF target), a transaction tier of
+// ~0.5% and the remainder a commodity web estate, chunked into tiers of
+// at most webChunkHosts. The topology opts into the batched probe
+// dispatcher (Probes, all defaults) — per-service probe events at this
+// scale would dominate the scheduler, and per-host intelliagents are out
+// of reach entirely, so megasites run ModeManual with probe-driven
+// detection feeding the same repair pipeline.
+func MegaSiteTopology(total int) Topology {
+	db := total / 100
+	if db < 4 {
+		db = 4
+	}
+	tx := total / 200
+	if tx < 2 {
+		tx = 2
+	}
+	t := Topology{
+		Name: fmt.Sprintf("megasite-%d", total), Geo: "UK",
+		Probes: &ProbeSpec{},
+		Tiers: []Tier{
+			{Name: "db", Role: "database", Hosts: db, IPBlock: "10.8.0",
+				Hardware: []string{"E10K", "E4500", "E4500"},
+				Services: []ServiceTemplate{
+					{Kind: "oracle", Name: "ORA-{host}", Port: 1521, LSFTarget: true},
+					{Kind: "lsf", Name: "LSF-{host}"},
+				}},
+			{Name: "tx", Role: "transaction", Hosts: tx, IPBlock: "10.9.0",
+				Hardware: []string{"E450", "HP-K", "linux-x86"},
+				Services: []ServiceTemplate{
+					{Kind: "feedhandler", Name: "FEED-{host}", Port: 7000},
+				}},
+		},
+	}
+	// Chunk names are letter-suffixed ("web-a", "web-b", ...): a digit
+	// suffix would collide with widened host ordinals under the explicit
+	// host-name check. Each chunk gets its own second-octet prefix.
+	for web, idx := total-db-tx, 0; web > 0; idx++ {
+		n := web
+		if n > webChunkHosts {
+			n = webChunkHosts
+		}
+		t.Tiers = append(t.Tiers, Tier{
+			Name: "web-" + string(rune('a'+idx)), Role: "frontend", Hosts: n,
+			IPBlock:  fmt.Sprintf("10.%d.0", 16+idx),
+			Hardware: []string{"linux-x86", "linux-x86", "SP2"},
+			Services: []ServiceTemplate{
+				{Kind: "webserver", Name: "WEB-{host}", Port: 8080},
+			},
+		})
+		web -= n
+	}
+	return t
 }
 
 // ComputeFarmTopology is a batch-dominated compute farm: twenty heavy

@@ -47,7 +47,10 @@ func TestTopologyValidation(t *testing.T) {
 		{"tier name starts with digit", func(tp *Topology) { tp.Tiers[0].Name = "1db" }, "tier name"},
 		{"zero-host tier", func(tp *Topology) { tp.Tiers[0].Hosts = 0 }, "hosts"},
 		{"negative-host tier", func(tp *Topology) { tp.Tiers[0].Hosts = -3 }, "hosts"},
-		{"tier overflows its /24", func(tp *Topology) { tp.Tiers[0].Hosts = 255 }, "254"},
+		{"tier exhausts the IP space", func(tp *Topology) {
+			tp.Tiers[0].IPBlock = "10.2.254"
+			tp.Tiers[0].Hosts = 600 // needs blocks .254-.256
+		}, "exhausting the IP space"},
 		{"unknown role", func(tp *Topology) { tp.Tiers[0].Role = "mainframe" }, "unknown role"},
 		{"reserved admin role", func(tp *Topology) { tp.Tiers[1].Role = "admin" }, "reserved"},
 		{"empty hardware mix", func(tp *Topology) { tp.Tiers[0].Hardware = nil }, "hardware"},
