@@ -8,7 +8,7 @@ PKGS := ./...
 # not when tee does.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke benchdiff clean
+.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke shard-smoke benchdiff clean
 
 all: lint build test
 
@@ -33,7 +33,7 @@ bench:
 # 10k-host megasite day, with -benchmem so scripts/benchdiff gates
 # allocs/op alongside ns/op. Repeated (-count 3) so the best-of values
 # compared are stable.
-BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh|BenchmarkMegaSiteDay)$$
+BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh|BenchmarkMegaSiteDay|BenchmarkMegaSiteDayShards)$$
 
 bench-agentday:
 	$(GO) test -bench '$(BENCH_GATE)' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-agentday.txt
@@ -47,11 +47,27 @@ bench-agentday:
 # could schedule a 10k-host site at all). Hardware-sensitive: meaningful
 # on a machine comparable to the one that recorded the artifacts, so they
 # are local targets, not CI gates.
+#
+# The third stanza proves the intra-trial shard engine: on a machine with
+# >= 4 cores, BenchmarkMegaSiteDayShards (8 shards) must beat the serial
+# BenchmarkMegaSiteDay recorded moments earlier in the same run by at
+# least 1.5x — same build, same machine, so the ratio is pure shard
+# speedup. benchdiff matches benchmarks by name, so the shard lines are
+# renamed to the serial name for the comparison. On fewer cores the walk
+# is serial anyway and the stanza skips with a message rather than
+# fabricating a speedup a single core cannot deliver.
 perf-proof:
 	$(GO) test -bench '^BenchmarkAgentDay$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-proof.txt
 	$(GO) run ./scripts/benchdiff -improvement 2 testdata/bench-agentday-seed.txt bench-proof.txt
 	$(GO) test -bench '^BenchmarkMegaSiteDay$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-megasite-proof.txt
 	$(GO) run ./scripts/benchdiff -improvement 2 testdata/bench-megasite-seed.txt bench-megasite-proof.txt
+	@if [ "$$(nproc)" -ge 4 ]; then \
+		$(GO) test -bench '^BenchmarkMegaSiteDayShards$$' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-megasite-shards-proof.txt && \
+		sed 's/BenchmarkMegaSiteDayShards/BenchmarkMegaSiteDay/' bench-megasite-shards-proof.txt > bench-megasite-shards-renamed.txt && \
+		$(GO) run ./scripts/benchdiff -improvement 1.5 bench-megasite-proof.txt bench-megasite-shards-renamed.txt; \
+	else \
+		echo "perf-proof: only $$(nproc) core(s); skipping the 8-shard speedup proof (needs a multi-core runner)"; \
+	fi
 
 # Re-record the megasite speedup baseline: BenchmarkMegaSiteDay with the
 # probe engine forced onto its per-service reference path.
@@ -95,6 +111,16 @@ megasite-smoke:
 	$(GO) run ./cmd/qossim campaign -trials 1 -workers 1 -days 2 -seed 7 \
 		-site megasite -out megasite-smoke.json before
 
+# Shard smoke: the megasite smoke run again at -shards 8. The sharded
+# engine's determinism contract is that shards are an execution knob, not
+# a model change, so the JSON must match megasite-smoke.json byte for
+# byte; cmp enforces that across two separate qossim processes. CI
+# uploads shard-smoke.json with the other artifacts.
+shard-smoke: megasite-smoke
+	$(GO) run ./cmd/qossim campaign -trials 1 -workers 1 -shards 8 -days 2 -seed 7 \
+		-site megasite -out shard-smoke.json before
+	cmp megasite-smoke.json shard-smoke.json
+
 # Compare two bench data points (fails on >20% ns/op regression):
 #   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
 benchdiff:
@@ -119,4 +145,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json shard-smoke.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt bench-megasite-shards-proof.txt bench-megasite-shards-renamed.txt

@@ -53,9 +53,20 @@ type Site struct {
 	deployErr  error // sticky first-Run deployment failure
 
 	cron    *simclock.Wheel // coalesced agent cron (nil under ReferenceScheduler)
+	pool    *simclock.Pool  // intra-trial shard workers (nil: single-goroutine)
 	ranTo   simclock.Time   // furthest simulated time a Run call has reached
 	running bool            // inside Run: guards re-entrant Run/Reset
 }
+
+// MaxShards bounds Options.Shards: more shards than this is certainly a
+// misconfiguration (the per-tick work splits into at most
+// tiers × slots × shards sub-ranges, and the merge barrier costs grow
+// with the worker count).
+const MaxShards = 64
+
+// Shards reports the site's effective intra-trial shard count (1 when
+// unsharded).
+func (s *Site) Shards() int { return s.pool.Shards() }
 
 // NewSite assembles a site from a declarative topology and functional
 // options; call Run to execute it. The topology is validated first, and
@@ -82,6 +93,9 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 	if err := opts.Probes.validate(); err != nil {
 		return nil, fmt.Errorf("topology %q: options: %w", topo.Name, err)
 	}
+	if opts.Shards < 0 || opts.Shards > MaxShards {
+		return nil, fmt.Errorf("topology %q: options: shard count %d outside [0, %d]", topo.Name, opts.Shards, MaxShards)
+	}
 	if opts.CronPeriod <= 0 {
 		opts.CronPeriod = 5 * simclock.Minute
 	}
@@ -91,6 +105,12 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 		Sim:  simclock.New(opts.Seed),
 		DC:   cluster.NewDatacentre(),
 		Dir:  svc.NewDirectory(),
+	}
+	if opts.Shards > 1 {
+		// The shard pool outlives any single trial: pooled campaign reuse
+		// resets the site, not the workers, so tick sharding costs no
+		// goroutine churn per trial.
+		s.pool = simclock.NewPool(opts.Shards)
 	}
 	s.Bus = notify.NewBus(s.Sim)
 	s.Ledger = metrics.NewLedger()
@@ -145,6 +165,7 @@ func (s *Site) buildProbes() {
 	s.Probes = probe.New(probe.Config{
 		Sim: s.Sim, Period: period, Slots: slots,
 		Reference: s.Opts.ReferenceProbes,
+		Pool:      s.pool,
 		OnFail: func(sv *svc.Service, _ svc.ProbeResult, now simclock.Time) {
 			if f := s.Registry.Find(sv.Host.Name, agents.ServiceAspect(sv.Spec.Name)); f != nil {
 				s.Registry.DetectFault(f, now, "probe")
@@ -604,6 +625,10 @@ func (s *Site) scheduleAgent(a *agent.Agent, phase, period simclock.Time) {
 	}
 	if s.cron == nil {
 		s.cron = simclock.NewWheel(s.Sim)
+		// Agent sweeps mutate shared site state, so their entries stay
+		// plain (serial); attaching the pool makes the wheel shard-aware
+		// for any prepared entries a future subsystem registers here.
+		s.cron.SetPool(s.pool)
 	}
 	a.ScheduleCoalesced(s.Sim, s.cron, phase, period)
 }

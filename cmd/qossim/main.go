@@ -40,7 +40,12 @@
 // campaigns back to back, emitting a JSON array under -json; -tierfaults
 // sweeps per-tier fault intensity as a matrix axis on the site scenarios
 // (semicolon-separated cells, each a tier=mult[,tier=mult] spec — e.g.
-// -tierfaults ';web=4' pairs the unscaled default against web at 4x).
+// -tierfaults ';web=4' pairs the unscaled default against web at 4x; a
+// tier no selected site declares is rejected before any trial runs).
+// -shards N advances each trial's per-tier batch work on N goroutines
+// with a deterministic tick-boundary merge: pure wall-clock parallelism
+// *inside* a trial (vs -workers *across* trials), byte-identical output
+// at any count.
 package main
 
 import (
@@ -68,6 +73,7 @@ func main() {
 	site := flag.String("site", "small", "comma-separated site topologies: registered names (paper, small, webfarm, computefarm) and/or topology JSON files")
 	trials := flag.Int("trials", 8, "seeds per cell for the campaign-backed scenarios (latency, mttr, ablate)")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = NumCPU)")
+	shards := flag.Int("shards", 0, "intra-trial shard goroutines per site (0/1 = single-goroutine engine; results are identical at any count)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qossim [flags] before|after|fig2|fig3|fig4|latency|mttr|ablate\n")
 		fmt.Fprintf(os.Stderr, "       qossim campaign -help\n")
@@ -79,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site),
-		Trials: *trials, Workers: *workers}
+		Trials: *trials, Workers: *workers, Shards: *shards}
 	out, err := experiments.Run(flag.Arg(0), cfg)
 	// Print whatever rendered before erroring: a campaign with failed
 	// trials returns its tables (failed-trials detail included) alongside
@@ -99,6 +105,7 @@ func runCampaign(args []string) {
 	seed := fs.Uint64("seed", 7, "base seed; trial i of each cell uses seed+i")
 	trials := fs.Int("trials", 16, "seeds per matrix cell")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	shards := fs.Int("shards", 0, "intra-trial shard goroutines per trial (0/1 = single-goroutine engine; campaign JSON is byte-identical at any count)")
 	days := fs.Int("days", 0, "simulated days per trial (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
 	site := fs.String("site", "small", "comma-separated site topologies to sweep: registered names and/or topology JSON files")
 	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
@@ -118,7 +125,7 @@ func runCampaign(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site)}
+	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site), Shards: *shards}
 	if *tierFaults != "" {
 		// Semicolons separate axis cells so one cell can itself be a
 		// comma list; a leading/lone ';' contributes the unscaled default

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the compiled test binary stand in for the real qossim:
+// when QOSSIM_RUN_MAIN is set the process runs main() and exits, so the
+// CLI-level tests below can exec an actual qossim process — flags, exit
+// codes and stderr included — without building a second binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("QOSSIM_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runQossim execs this test binary as qossim with the given arguments.
+func runQossim(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "QOSSIM_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestCampaignRejectsUnknownTierFault: a -tierfaults tier that no
+// selected site declares must fail before any trial runs, with a
+// contextual message on stderr and exit status 1.
+func TestCampaignRejectsUnknownTierFault(t *testing.T) {
+	t.Parallel()
+	stdout, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small,webfarm",
+		"-trials", "1", "-days", "1", "-tierfaults", "bogus=4")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{`"bogus"`, "no selected site", "tiers:"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+	if strings.Contains(stderr, "campaign before:") {
+		t.Errorf("validation should fail before any trial output:\n%s", stderr)
+	}
+}
+
+// TestCampaignAcceptsDeclaredTierFault: the same shape with a tier the
+// site does declare runs to completion.
+func TestCampaignAcceptsDeclaredTierFault(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a real one-trial campaign")
+	}
+	stdout, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "1", "-seed", "7", "-tierfaults", "db=2")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "tierfaults=db=2") {
+		t.Errorf("stdout missing the tier-faults cell label:\n%s", stdout)
+	}
+}
+
+// TestCampaignRejectsBadShards: -shards outside the supported range is a
+// flag error caught at matrix validation, before any trial runs.
+func TestCampaignRejectsBadShards(t *testing.T) {
+	t.Parallel()
+	_, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "1", "-shards", "-3")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "-shards -3") {
+		t.Errorf("stderr missing shard-range message:\n%s", stderr)
+	}
+}
+
+// TestCampaignShardsFlagRuns: a sharded one-trial campaign completes and
+// prints the same tables a serial run would (byte-identical output is
+// pinned by TestShardEquivalence; this is the CLI wiring check).
+func TestCampaignShardsFlagRuns(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a real one-trial campaign")
+	}
+	serialOut, _, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "2", "-seed", "7", "-json")
+	if code != 0 {
+		t.Fatalf("serial run exit code = %d", code)
+	}
+	shardOut, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "2", "-seed", "7", "-json", "-shards", "8")
+	if code != 0 {
+		t.Fatalf("sharded run exit code = %d (stderr: %s)", code, stderr)
+	}
+	if serialOut != shardOut {
+		t.Error("campaign JSON differs between -shards 0 and -shards 8")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,9 +55,13 @@ var CampaignNames = []string{
 // they carry no Days or Sites coordinate, and a multi-site list is
 // rejected for them.
 func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error) {
+	if cfg.Shards < 0 || cfg.Shards > qoscluster.MaxShards {
+		return campaign.Matrix{}, fmt.Errorf("-shards %d outside [0, %d]", cfg.Shards, qoscluster.MaxShards)
+	}
 	m := campaign.Matrix{
-		Seeds: campaign.Seeds(cfg.Seed, trials),
-		Days:  cfg.days(),
+		Seeds:  campaign.Seeds(cfg.Seed, trials),
+		Days:   cfg.days(),
+		Shards: cfg.Shards,
 	}
 	siteAxis := true
 	switch name {
@@ -114,15 +119,27 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 		}
 		m.Sites = sites
 		// The per-tier fault-intensity axis rides on any site scenario.
-		// Validate each spec now — a typo'd multiplier must fail before
-		// trials burn compute — but keep the raw strings as coordinates.
+		// Validate each spec now — a typo'd multiplier or tier name must
+		// fail before trials burn compute — but keep the raw strings as
+		// coordinates. A named tier must exist in at least one selected
+		// site's topology (trials scope the spec to each site's own
+		// tiers); a name no site declares would silently weight nothing.
 		// Duplicate cells are rejected: they would share a group key, so
 		// Aggregate would silently fold their seeds into one cell and
 		// halve every CI (a stray trailing ';' is the usual cause).
+		known := knownTiers(sites)
 		seen := map[string]int{}
 		for i, spec := range cfg.TierFaultScales {
-			if _, err := ParseTierFaultScale(spec); err != nil {
+			scale, err := ParseTierFaultScale(spec)
+			if err != nil {
 				return campaign.Matrix{}, err
+			}
+			for _, tier := range sortedKeys(scale) {
+				if !known[tier] {
+					return campaign.Matrix{}, fmt.Errorf(
+						"-tierfaults cell %d (%q) names tier %q, which no selected site declares (sites %s have tiers: %s)",
+						i+1, spec, tier, strings.Join(sites, ", "), strings.Join(sortedKeys(known), ", "))
+				}
 			}
 			if prev, dup := seen[spec]; dup {
 				return campaign.Matrix{}, fmt.Errorf("-tierfaults cells %d and %d are both %q; duplicate cells would fold into one aggregation group",
@@ -199,8 +216,10 @@ func lookupOverride(name string) func(*qoscluster.Options) {
 // ParseTierFaultScale parses a per-tier fault-intensity spec — a comma
 // list of tier=multiplier entries like "web=2,db=0.5" — into the
 // qoscluster.Options.TierFaultScale map. An empty spec returns nil (the
-// topology's own per-tier weights unscaled). Tier names are validated by
-// NewSite against the trial's topology, not here.
+// topology's own per-tier weights unscaled). This checks syntax and
+// multiplier sanity only; CampaignMatrix additionally rejects tier names
+// that no selected site's topology declares, and each trial scopes the
+// map to its own site's tiers (scopeTierScale).
 func ParseTierFaultScale(spec string) (map[string]float64, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -234,6 +253,32 @@ func ParseTierFaultScale(spec string) (map[string]float64, error) {
 	return out, nil
 }
 
+// knownTiers unions the tier names declared by the given registered
+// sites (ResolveSites has already registered every name it returns).
+func knownTiers(sites []string) map[string]bool {
+	known := map[string]bool{}
+	for _, name := range sites {
+		topo, ok := qoscluster.ResolveTopology(name)
+		if !ok {
+			continue
+		}
+		for _, tier := range topo.Tiers {
+			known[tier.Name] = true
+		}
+	}
+	return known
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic messages.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // trialOptions builds the qoscluster.Options a trial's coordinates call
 // for: mode and agent set from their string axes, the option axes
 // verbatim, then any registered override applied on top.
@@ -243,6 +288,7 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 		NoBatchRescue:     t.NoBatchRescue,
 		DisablePrivateNet: t.DisablePrivateNet,
 		BaselineMonitors:  t.BaselineMonitors,
+		Shards:            t.Shards,
 	}
 	if t.TierFaults != "" {
 		scale, err := ParseTierFaultScale(t.TierFaults)
@@ -288,9 +334,51 @@ func siteScenario(name string) bool {
 	return false
 }
 
+// trialSiteOptions is trialOptions plus the per-site scoping of the
+// tier-fault-scale spec: a multi-site sweep may name a tier only some
+// sites declare (CampaignMatrix has already rejected names *no* site
+// declares), so each trial keeps just the entries its own topology has —
+// NewSite would otherwise reject the spec wholesale.
+func trialSiteOptions(t campaign.Trial) (qoscluster.Options, error) {
+	o, err := trialOptions(t)
+	if err != nil {
+		return o, err
+	}
+	o.TierFaultScale = scopeTierScale(o.TierFaultScale, t.Site)
+	return o, nil
+}
+
+// scopeTierScale drops scale entries for tiers the named site's topology
+// does not declare; an empty result collapses to nil so the site keeps
+// the exact no-override fast path. An unresolvable site name passes the
+// map through — buildNamedSite reports the unknown site with more
+// context than a scoping failure could.
+func scopeTierScale(scale map[string]float64, site string) map[string]float64 {
+	if len(scale) == 0 {
+		return scale
+	}
+	if site == "" {
+		site = "small"
+	}
+	topo, ok := qoscluster.ResolveTopology(site)
+	if !ok {
+		return scale
+	}
+	var out map[string]float64
+	for _, tier := range topo.Tiers {
+		if v, has := scale[tier.Name]; has {
+			if out == nil {
+				out = map[string]float64{}
+			}
+			out[tier.Name] = v
+		}
+	}
+	return out
+}
+
 // buildTrialSite assembles the site one trial's coordinates call for.
 func buildTrialSite(t campaign.Trial) (*qoscluster.Site, error) {
-	opts, err := trialOptions(t)
+	opts, err := trialSiteOptions(t)
 	if err != nil {
 		return nil, err
 	}
@@ -355,12 +443,13 @@ func ReferenceRunTrial(t campaign.Trial) (map[string]float64, error) {
 	if !siteScenario(t.Scenario) {
 		return RunTrial(t)
 	}
-	opts, err := trialOptions(t)
+	opts, err := trialSiteOptions(t)
 	if err != nil {
 		return nil, err
 	}
 	opts.ReferenceScheduler = true
 	opts.ReferenceProbes = true
+	opts.Shards = 0 // the reference is the single-goroutine engine
 	site, err := buildNamedSite(t.Site, t.Seed, qoscluster.WithOptions(opts))
 	if err != nil {
 		return nil, err

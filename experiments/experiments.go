@@ -39,6 +39,10 @@ type Config struct {
 	// the site scenarios: each entry is a "tier=mult[,tier=mult]" spec
 	// (or "" for the unscaled default) and becomes one aggregation cell.
 	TierFaultScales []string
+	// Shards is the intra-trial parallelism degree handed to every site
+	// trial (see qoscluster.WithShards); 0 or 1 keep the
+	// single-goroutine engine. Results are byte-identical at any value.
+	Shards int
 }
 
 func (c Config) siteArgs() []string {
@@ -234,7 +238,7 @@ func yearReports(cfg Config, mode qoscluster.Mode) (string, error) {
 	}
 	var b strings.Builder
 	for i, name := range sites {
-		site, err := buildNamedSite(name, cfg.Seed, qoscluster.WithMode(mode))
+		site, err := buildNamedSite(name, cfg.Seed, qoscluster.WithMode(mode), qoscluster.WithShards(cfg.Shards))
 		if err != nil {
 			return b.String(), err
 		}
@@ -283,7 +287,7 @@ func Fig2(cfg Config) (string, error) {
 }
 
 func fig2Site(b *strings.Builder, cfg Config, siteName string) error {
-	before, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeManual))
+	before, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeManual), qoscluster.WithShards(cfg.Shards))
 	if err != nil {
 		return err
 	}
@@ -292,7 +296,7 @@ func fig2Site(b *strings.Builder, cfg Config, siteName string) error {
 	}
 	rb := before.Report()
 
-	after, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeAgents))
+	after, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeAgents), qoscluster.WithShards(cfg.Shards))
 	if err != nil {
 		return err
 	}

@@ -98,3 +98,43 @@ func TestTierFaultsDuplicateCellsRejected(t *testing.T) {
 		t.Errorf("duplicate tier-faults cells accepted: %v", err)
 	}
 }
+
+// TestTierFaultsUnknownTierRejected: a -tierfaults cell naming a tier
+// that no selected site's topology declares must fail at matrix-build
+// time with a contextual error — before, it silently weighted nothing
+// until NewSite rejected it mid-campaign.
+func TestTierFaultsUnknownTierRejected(t *testing.T) {
+	cfg := Config{Seed: 7, Sites: []string{"small", "webfarm"}, TierFaultScales: []string{"", "bogus=4"}}
+	_, err := CampaignMatrix("before", cfg, 2)
+	if err == nil {
+		t.Fatal("unknown tier passed matrix validation")
+	}
+	for _, want := range []string{`"bogus"`, "small", "webfarm", "no selected site"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestTierFaultsScopedToEachSite: in a multi-site sweep a tier only some
+// sites declare is legal — trials scope the spec to their own topology —
+// and the campaign completes with no failed trials on either site.
+func TestTierFaultsScopedToEachSite(t *testing.T) {
+	t.Parallel()
+	// webfarm declares "web"; small does not (its tiers are db/tx/fe),
+	// so the web=4 cell must scale webfarm and no-op on small.
+	cfg := Config{Seed: 7, Days: 3, Sites: []string{"small", "webfarm"}, TierFaultScales: []string{"web=4"}}
+	if _, err := CampaignMatrix("before", cfg, 1); err != nil {
+		t.Fatalf("partially-present tier rejected: %v", err)
+	}
+	res, err := Campaign("before", cfg, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := res.Errs(); len(errs) > 0 {
+		t.Fatalf("%d failed trials; first: %s", len(errs), errs[0].Err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("want one group per site, got %+v", res.Groups)
+	}
+}

@@ -50,6 +50,11 @@ type Trial struct {
 	// "web=2,db=0.5" scaling the named tiers' fault selection weights.
 	// "" means the topology's own per-tier specs unscaled.
 	TierFaults string `json:"tier_faults,omitempty"`
+	// Shards is the intra-trial parallelism degree, copied from
+	// Matrix.Shards. It is an execution knob, not an axis coordinate:
+	// results are byte-identical at any shard count, so it is excluded
+	// from the canonical JSON exactly like the worker count.
+	Shards int `json:"-"`
 }
 
 // Matrix enumerates the campaign: the cross product of its axes, one Trial
@@ -73,6 +78,10 @@ type Matrix struct {
 	// Trial.TierFaults); the usual axis pairs the default "" against one
 	// or more scaled cells.
 	TierFaults []string `json:"tier_faults,omitempty"`
+	// Shards is stamped onto every trial (see Trial.Shards). Not an
+	// axis: like the worker count it must not change any result, so
+	// sweeping it would only measure wall-clock.
+	Shards int `json:"-"`
 }
 
 // Seeds returns n sequential seeds starting at base — the conventional way
@@ -130,7 +139,7 @@ func (m Matrix) Trials() []Trial {
 													CronPeriod: cron, AgentSet: as,
 													NoBatchRescue: rescue, DisablePrivateNet: noNet,
 													BaselineMonitors: mon, Overrides: ov,
-													TierFaults: tf,
+													TierFaults: tf, Shards: m.Shards,
 												})
 											}
 										}

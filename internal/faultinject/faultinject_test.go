@@ -240,3 +240,61 @@ func TestCampaignAllZeroDomainsSkipped(t *testing.T) {
 		t.Error("all-zero-weight spec fired")
 	}
 }
+
+// TestBlackoutContainsWrap pins the hour window on both sides of
+// midnight: {23, 1} must cover hour 23 and hour 0 only.
+func TestBlackoutContainsWrap(t *testing.T) {
+	b := Blackout{From: 23, To: 1}
+	for h := 0; h < 24; h++ {
+		at := simclock.Time(h)*simclock.Hour + 30*simclock.Minute
+		want := h == 23 || h == 0
+		if got := b.contains(at); got != want {
+			t.Errorf("Blackout{23,1}.contains(hour %d) = %v, want %v", h, got, want)
+		}
+	}
+	// Plain window for contrast, and the exact boundary instants: From is
+	// inclusive, To exclusive, on the wrapped window too.
+	day := Blackout{From: 9, To: 17}
+	if !day.contains(9*simclock.Hour) || day.contains(17*simclock.Hour) {
+		t.Error("Blackout{9,17} boundary handling wrong")
+	}
+	if !b.contains(23*simclock.Hour) || b.contains(1*simclock.Hour) {
+		t.Error("Blackout{23,1} boundary handling wrong")
+	}
+	if !b.contains(24 * simclock.Hour) {
+		t.Error("Blackout{23,1} must cover midnight itself (hour 0 of day 2)")
+	}
+}
+
+// TestCampaignDomainBlackoutWrapsMidnight is the regression test for the
+// midnight-wrapping blackout slide: a 23:00-01:00 blackout must suppress
+// arrivals in hour 23 *and* hour 0 — both sides of the day boundary —
+// across a long run with a high arrival rate.
+func TestCampaignDomainBlackoutWrapsMidnight(t *testing.T) {
+	sim := simclock.New(11)
+	var arrivals []simclock.Time
+	c := NewCampaign(sim, func(cat metrics.Category, tier string, now simclock.Time) {
+		arrivals = append(arrivals, now)
+	})
+	c.Start([]Spec{{
+		Category: metrics.CatMidCrash, MeanInterarrival: 3 * simclock.Hour,
+		Domains: []Domain{{Tier: "db", Weight: 1, Blackouts: []Blackout{{From: 23, To: 1}}}},
+	}})
+	sim.RunUntil(365 * simclock.Day)
+	if len(arrivals) < 1000 {
+		t.Fatalf("only %d arrivals; rate too low to exercise the window", len(arrivals))
+	}
+	sides := map[int]bool{22: false, 1: false} // prove we brushed both edges
+	for _, at := range arrivals {
+		switch h := at.HourOfDay(); h {
+		case 23, 0:
+			t.Fatalf("arrival at %v falls in the 23:00-01:00 blackout (hour %d)", at, h)
+		case 22, 1:
+			sides[h] = true
+		}
+	}
+	if !sides[22] || !sides[1] {
+		t.Errorf("arrivals never landed adjacent to the blackout (22h: %v, 01h: %v); window may be over-wide",
+			sides[22], sides[1])
+	}
+}

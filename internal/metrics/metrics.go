@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/simclock"
@@ -244,17 +245,22 @@ func Availability(down, span simclock.Time) float64 {
 	return a
 }
 
-// Percentile returns the p-quantile (0..1) of xs by nearest-rank on a copy.
+// Percentile returns the p-quantile (0..1) of xs by nearest-rank on a
+// copy. p is clamped into [0, 1]; a NaN p counts as 0 — the
+// float-to-int conversion of a non-finite product is implementation-
+// defined in Go, so it must never reach the index arithmetic.
 func Percentile(xs []simclock.Time, p float64) simclock.Time {
 	if len(xs) == 0 {
 		return 0
 	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
 	cp := append([]simclock.Time(nil), xs...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
 	idx := int(p*float64(len(cp)-1) + 0.5)
-	if idx < 0 {
-		idx = 0
-	}
 	if idx >= len(cp) {
 		idx = len(cp) - 1
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -227,5 +228,49 @@ func TestQuickLedgerSums(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPercentile pins the nearest-rank quantile, including the edge
+// cases that used to reach implementation-defined float-to-int
+// conversion: NaN and ±Inf p must clamp instead of producing an
+// arbitrary index.
+func TestPercentile(t *testing.T) {
+	ts := func(vs ...int) []simclock.Time {
+		out := make([]simclock.Time, len(vs))
+		for i, v := range vs {
+			out[i] = simclock.Time(v) * simclock.Second
+		}
+		return out
+	}
+	sample := ts(50, 10, 40, 30, 20) // unsorted on purpose: Percentile sorts a copy
+	cases := []struct {
+		name string
+		xs   []simclock.Time
+		p    float64
+		want simclock.Time
+	}{
+		{"empty", nil, 0.95, 0},
+		{"empty-nan", nil, math.NaN(), 0},
+		{"single-p0", ts(7), 0, 7 * simclock.Second},
+		{"single-p1", ts(7), 1, 7 * simclock.Second},
+		{"single-nan", ts(7), math.NaN(), 7 * simclock.Second},
+		{"p0", sample, 0, 10 * simclock.Second},
+		{"p50", sample, 0.5, 30 * simclock.Second},
+		{"p95", sample, 0.95, 50 * simclock.Second},
+		{"p1", sample, 1, 50 * simclock.Second},
+		{"negative-clamps", sample, -3, 10 * simclock.Second},
+		{"above-one-clamps", sample, 2.5, 50 * simclock.Second},
+		{"nan-clamps-low", sample, math.NaN(), 10 * simclock.Second},
+		{"neg-inf-clamps-low", sample, math.Inf(-1), 10 * simclock.Second},
+		{"pos-inf-clamps-high", sample, math.Inf(1), 50 * simclock.Second},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.xs, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(p=%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	if sample[0] != 50*simclock.Second {
+		t.Error("Percentile mutated its input")
 	}
 }

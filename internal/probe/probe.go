@@ -19,6 +19,17 @@
 // probe in the same batch would interleave differently between the two
 // paths — unreachable in practice, since repair delays are drawn from
 // continuous distributions.)
+//
+// With a shard pool (Config.Pool) each (tier, slot) range is further
+// split into one prepared wheel entry per shard. Inside a tick the
+// shards walk their sub-ranges concurrently — Service.Probe is a pure
+// read and the struct-of-arrays bookkeeping is indexed by member, so
+// sub-ranges touch disjoint elements — buffering failures locally; at
+// the tick barrier the wheel replays each sub-range's counter updates
+// and OnFail callbacks serially in registration order, which is exactly
+// the serial walk order. The observable effect sequence (ledger writes,
+// repair scheduling, random-stream consumption) is therefore identical
+// at any shard count, and the equivalence tests pin that too.
 package probe
 
 import (
@@ -42,6 +53,10 @@ type Config struct {
 	// member service, the semantics baseline the batched path is
 	// equivalence-tested against.
 	Reference bool
+	// Pool shards each (tier, slot) batch walk across its workers inside
+	// a tick window (nil or 1-shard: every walk stays on the event-loop
+	// goroutine). Ignored in reference mode.
+	Pool *simclock.Pool
 	// OnFail is invoked for every failing probe (nil: failures are only
 	// counted).
 	OnFail func(s *svc.Service, res svc.ProbeResult, now simclock.Time)
@@ -100,14 +115,18 @@ func (e *Engine) AddTier(name string, members []*svc.Service) {
 
 // Start lays out the schedules: tier t's slot s first fires at
 // now + (s+1)·Period/Slots and then every Period, walking the slot's
-// contiguous member range. Slot phases are deterministic functions of the
-// configuration — no randomness — so the schedule replays identically.
+// contiguous member range — split into one prepared wheel entry per pool
+// shard, so a multi-shard pool probes the sub-ranges concurrently and
+// merges at the tick barrier. Slot phases are deterministic functions of
+// the configuration — no randomness — so the schedule replays
+// identically.
 func (e *Engine) Start() {
 	if e.started {
 		panic("probe: Start called twice")
 	}
 	e.started = true
 	now := e.cfg.Sim.Now()
+	shards := e.cfg.Pool.Shards()
 	for _, t := range e.tiers {
 		for s := 0; s < e.cfg.Slots; s++ {
 			lo := s * len(t.members) / e.cfg.Slots
@@ -127,21 +146,82 @@ func (e *Engine) Start() {
 			}
 			if e.wheel == nil {
 				e.wheel = simclock.NewWheel(e.cfg.Sim)
+				e.wheel.SetPool(e.cfg.Pool)
 			}
-			t, lo, hi := t, lo, hi
-			e.wheel.Add(start, e.cfg.Period,
-				fmt.Sprintf("probe:%s[%d:%d]", t.name, lo, hi),
-				func(nw simclock.Time) {
-					e.batches++
-					for i := lo; i < hi; i++ {
-						e.probeOne(t, i, nw)
-					}
-				})
+			// Registration is tier-major, shard-minor: each slot's bucket
+			// holds one sub-range entry per (tier, shard), so the wheel's
+			// strided shard assignment hands every worker one sub-range
+			// per tier, and the barrier's registration-order apply equals
+			// the serial walk order.
+			for sh := 0; sh < shards; sh++ {
+				off, end := simclock.Span(sh, shards, hi-lo)
+				slo, shi := lo+off, lo+end
+				if slo == shi {
+					continue
+				}
+				r := &shardRange{e: e, t: t, lo: slo, hi: shi}
+				r.apply = r.merge
+				e.wheel.AddPrepared(start, e.cfg.Period,
+					fmt.Sprintf("probe:%s[%d:%d]", t.name, slo, shi),
+					r.prepare)
+			}
 		}
 	}
 }
 
-// probeOne issues one probe and updates the slot's bookkeeping.
+// shardRange is one shard's contiguous slice of a (tier, slot) batch. Its
+// prepare walks the slice — pure service reads plus writes to the
+// member-indexed bookkeeping elements this range owns — buffering
+// failures; its merge publishes counters and fires OnFail serially at the
+// tick barrier. The apply closure is allocated once at Start so a tick
+// allocates nothing.
+type shardRange struct {
+	e      *Engine
+	t      *tierSched
+	lo, hi int
+	fails  []failedProbe           // this tick's failures, reused across ticks
+	apply  func(now simclock.Time) // == r.merge, preallocated
+}
+
+// failedProbe records one failing probe for the barrier merge.
+type failedProbe struct {
+	i   int
+	res svc.ProbeResult
+}
+
+// prepare is the concurrent phase: probe every member in [lo, hi).
+func (r *shardRange) prepare(now simclock.Time) func(now simclock.Time) {
+	r.fails = r.fails[:0]
+	t := r.t
+	for i := r.lo; i < r.hi; i++ {
+		res := t.members[i].Probe()
+		t.lastExit[i] = int8(res.ExitCode)
+		if res.OK() {
+			t.failStreak[i] = 0
+			continue
+		}
+		t.failStreak[i]++
+		r.fails = append(r.fails, failedProbe{i: i, res: res})
+	}
+	return r.apply
+}
+
+// merge is the serial phase: publish the walk's counters and report its
+// failures in member order.
+func (r *shardRange) merge(now simclock.Time) {
+	e := r.e
+	e.batches++
+	e.probes += int64(r.hi - r.lo)
+	e.fails += int64(len(r.fails))
+	if e.cfg.OnFail != nil {
+		for _, f := range r.fails {
+			e.cfg.OnFail(r.t.members[f.i], f.res, now)
+		}
+	}
+}
+
+// probeOne issues one probe and updates the slot's bookkeeping (reference
+// path).
 func (e *Engine) probeOne(t *tierSched, i int, now simclock.Time) {
 	res := t.members[i].Probe()
 	e.probes++
@@ -177,7 +257,8 @@ func (e *Engine) Probes() int64 { return e.probes }
 // Fails reports the failing probes since Start (or Reset).
 func (e *Engine) Fails() int64 { return e.fails }
 
-// Batches reports the coalesced batch walks fired; 0 in reference mode.
+// Batches reports the coalesced batch walks fired — one per (tier, slot,
+// shard) sub-range per tick; 0 in reference mode.
 func (e *Engine) Batches() int64 { return e.batches }
 
 // Tiers reports the number of registered tiers.

@@ -1,0 +1,95 @@
+package simclock
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is the intra-trial shard executor: a fixed set of persistent
+// workers that run a barrier parallel-for over shard indices. It exists
+// so the wheel can advance a bucket's prepared entries on several
+// goroutines inside one tick window and then merge their effects at the
+// tick boundary in a fixed order — the shared-clock multi-instance loop.
+//
+// Shard 0 always runs on the calling goroutine, so a 1-shard pool (and a
+// nil *Pool) degenerate to a plain inline call with no synchronisation.
+// Run returns only after every shard has finished: the barrier IS the
+// tick boundary, and nothing the shards computed is observed before it.
+//
+// Workers hold a reference to the pool's channels only — never to the
+// Pool itself — so an abandoned pool is garbage-collected and a
+// finalizer shuts the workers down. Sites held in a sync.Pool across
+// campaign trials can therefore own a Pool without leaking goroutines.
+type Pool struct {
+	shards int
+	work   chan poolTask
+	wg     *sync.WaitGroup
+}
+
+// poolTask is one shard's slice of a Run call.
+type poolTask struct {
+	f     func(shard int)
+	shard int
+	wg    *sync.WaitGroup
+}
+
+// NewPool returns a pool of the given shard count. One shard means "run
+// inline"; counts above one start shards-1 persistent workers. A
+// non-positive count panics — callers validate user input before
+// constructing the pool.
+func NewPool(shards int) *Pool {
+	if shards < 1 {
+		panic(fmt.Sprintf("simclock: non-positive shard count %d", shards))
+	}
+	p := &Pool{shards: shards}
+	if shards > 1 {
+		p.work = make(chan poolTask)
+		p.wg = &sync.WaitGroup{}
+		for i := 1; i < shards; i++ {
+			go poolWorker(p.work)
+		}
+		runtime.SetFinalizer(p, func(p *Pool) { close(p.work) })
+	}
+	return p
+}
+
+func poolWorker(work <-chan poolTask) {
+	for t := range work {
+		t.f(t.shard)
+		t.wg.Done()
+	}
+}
+
+// Shards reports the pool's shard count; a nil pool counts as one shard.
+func (p *Pool) Shards() int {
+	if p == nil {
+		return 1
+	}
+	return p.shards
+}
+
+// Run executes f(0) .. f(shards-1), f(0) on the calling goroutine, and
+// returns when all have finished. f must not touch the simulator (clock,
+// heap, random streams) — shards see a frozen tick and publish their
+// effects after the barrier. Run is not safe for concurrent use with
+// itself; the single-goroutine event loop is the only caller.
+func (p *Pool) Run(f func(shard int)) {
+	if p == nil || p.shards == 1 {
+		f(0)
+		return
+	}
+	p.wg.Add(p.shards - 1)
+	for s := 1; s < p.shards; s++ {
+		p.work <- poolTask{f: f, shard: s, wg: p.wg}
+	}
+	f(0)
+	p.wg.Wait()
+}
+
+// Span partitions n items into the given shard count and returns the
+// half-open range [lo, hi) owned by shard. Ranges are contiguous, cover
+// exactly [0, n), and differ in size by at most one item.
+func Span(shard, shards, n int) (lo, hi int) {
+	return shard * n / shards, (shard + 1) * n / shards
+}

@@ -99,6 +99,14 @@ type Options struct {
 	// equivalence compares the batched dispatcher against. Meaningless
 	// unless a probe spec is in effect.
 	ReferenceProbes bool
+	// Shards is the intra-trial parallelism degree: per-tier batch work
+	// (today the probe sub-ranges) advances on this many goroutines
+	// inside each tick window and merges at tick boundaries in a fixed
+	// order, so simulated behaviour — and campaign JSON — is
+	// byte-identical at any shard count. 0 and 1 both mean the
+	// single-goroutine engine; negative or absurd counts are rejected by
+	// NewSite. Ignored under ReferenceScheduler/ReferenceProbes.
+	Shards int
 }
 
 // Option is a functional scenario option for NewSite.
@@ -187,6 +195,13 @@ func WithProbes(ps ProbeSpec) Option { return func(o *Options) { o.Probes = &ps 
 // WithReferenceProbes selects the per-service probe scheduling path that
 // the batched dispatcher is equivalence-tested against.
 func WithReferenceProbes() Option { return func(o *Options) { o.ReferenceProbes = true } }
+
+// WithShards sets the intra-trial parallelism degree (see Options.Shards):
+// n worker goroutines advance per-tier batch work inside each tick window
+// with a deterministic merge at tick boundaries. Results are
+// byte-identical at any shard count; the win is wall-clock on multi-core
+// hardware for probe-heavy megasites.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
 
 // WithOptions replaces the whole Options struct — the bridge for callers
 // (like campaign trials) that assemble an Options value directly and
