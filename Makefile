@@ -8,7 +8,7 @@ PKGS := ./...
 # not when tee does.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke shard-smoke benchdiff clean
+.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke shard-smoke trace-smoke benchdiff clean
 
 all: lint build test
 
@@ -29,11 +29,13 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' $(PKGS)
 
 # The perf-gate data points: the agent cron hot loop on the scaled and
-# paper-size sites, the pooled-vs-fresh campaign trial pair, and the
-# 10k-host megasite day, with -benchmem so scripts/benchdiff gates
-# allocs/op alongside ns/op. Repeated (-count 3) so the best-of values
-# compared are stable.
-BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh|BenchmarkMegaSiteDay|BenchmarkMegaSiteDayShards)$$
+# paper-size sites (untraced and with the decision-trace recorder on),
+# the pooled-vs-fresh campaign trial pair, and the 10k-host megasite day,
+# with -benchmem so scripts/benchdiff gates allocs/op alongside ns/op.
+# Repeated (-count 3) so the best-of values compared are stable.
+# BenchmarkAgentDay (tracing off) is the line the gate holds flat: the
+# recorder must stay zero-cost when disabled.
+BENCH_GATE := ^(BenchmarkAgentDay|BenchmarkAgentDayTraced|BenchmarkPaperAgentDay|BenchmarkCampaignTrialReuse|BenchmarkCampaignTrialFresh|BenchmarkMegaSiteDay|BenchmarkMegaSiteDayShards)$$
 
 bench-agentday:
 	$(GO) test -bench '$(BENCH_GATE)' -benchtime 2x -count 3 -benchmem -run '^$$' . | tee bench-agentday.txt
@@ -121,6 +123,18 @@ shard-smoke: megasite-smoke
 		-site megasite -out shard-smoke.json before
 	cmp megasite-smoke.json shard-smoke.json
 
+# Trace smoke: record a one-seed paper-site week with decision tracing,
+# replay the trace (injections scripted from the file instead of the
+# random processes), and cmp the replayed campaign JSON against the
+# original byte for byte — the end-to-end record/replay determinism
+# proof, across two separate qossim processes. CI uploads
+# trace-smoke.jsonl with the other artifacts.
+trace-smoke:
+	$(GO) run ./cmd/qossim campaign -trials 1 -workers 1 -days 7 -seed 7 \
+		-site paper -trace trace-smoke.jsonl -out trace-original.json after
+	$(GO) run ./cmd/qossim replay -trace trace-smoke.jsonl -out trace-replay.json
+	cmp trace-original.json trace-replay.json
+
 # Compare two bench data points (fails on >20% ns/op regression):
 #   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
 benchdiff:
@@ -145,4 +159,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json shard-smoke.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt bench-megasite-shards-proof.txt bench-megasite-shards-renamed.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json shard-smoke.json trace-smoke.jsonl trace-original.json trace-replay.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt bench-megasite-shards-proof.txt bench-megasite-shards-renamed.txt

@@ -22,6 +22,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/simclock"
 	"repro/internal/svc"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -45,7 +46,8 @@ type Site struct {
 	Admin    *adminsrv.Pair // nil in ModeManual
 	Monitors []*baseline.Monitor
 	Agents   []*agent.Agent
-	Probes   *probe.Engine // nil unless a probe spec is in effect
+	Probes   *probe.Engine   // nil unless a probe spec is in effect
+	Trace    *trace.Recorder // nil unless Options.TraceLevel > 0
 
 	dbServices []string          // LSF execution targets, in deployment order
 	tierOf     map[string]string // host name -> topology tier name
@@ -67,6 +69,10 @@ const MaxShards = 64
 // Shards reports the site's effective intra-trial shard count (1 when
 // unsharded).
 func (s *Site) Shards() int { return s.pool.Shards() }
+
+// TraceEvents returns a copy of the decision events recorded so far (nil
+// when the site runs untraced — see Options.TraceLevel).
+func (s *Site) TraceEvents() []trace.Event { return s.Trace.Events() }
 
 // NewSite assembles a site from a declarative topology and functional
 // options; call Run to execute it. The topology is validated first, and
@@ -96,6 +102,12 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 	if opts.Shards < 0 || opts.Shards > MaxShards {
 		return nil, fmt.Errorf("topology %q: options: shard count %d outside [0, %d]", topo.Name, opts.Shards, MaxShards)
 	}
+	if opts.TraceLevel < 0 || opts.TraceLevel > trace.MaxLevel {
+		return nil, fmt.Errorf("topology %q: options: trace level %d outside [0, %d]", topo.Name, opts.TraceLevel, trace.MaxLevel)
+	}
+	if opts.Counterfactual != nil && opts.TraceLevel <= 0 {
+		return nil, fmt.Errorf("topology %q: options: a counterfactual needs tracing enabled (trace level >= 1) to anchor its decision event", topo.Name)
+	}
 	if opts.CronPeriod <= 0 {
 		opts.CronPeriod = 5 * simclock.Minute
 	}
@@ -118,6 +130,17 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 	s.Team = operators.NewTeam(s.Sim.Rand().Fork(0x09e7))
 	if opts.OperatorTiming != nil {
 		s.Team.SetTiming(*opts.OperatorTiming)
+	}
+	if opts.TraceLevel > trace.LevelOff {
+		s.Trace = trace.New(opts.TraceLevel)
+		// The closure reads s.tierOf at emission time, after buildHosts
+		// fills it.
+		s.Trace.SetTierOf(func(host string) string { return s.tierOf[host] })
+		if opts.Counterfactual != nil {
+			s.Trace.SetCounterfactual(*opts.Counterfactual)
+		}
+		s.Registry.Trace = s.Trace
+		s.Team.Trace = s.Trace
 	}
 	s.buildNetworks()
 	if err := s.buildHosts(); err != nil {
@@ -479,7 +502,12 @@ func (s *Site) Run(until simclock.Time) error {
 				s.Probes.Start()
 			}
 			s.Campaign = faultinject.NewCampaign(s.Sim, s.inject)
-			s.Campaign.Start(s.faultSpecs())
+			s.Campaign.Trace = s.Trace
+			if s.Opts.Replay != nil {
+				s.Campaign.StartScript(s.faultSpecs(), s.Opts.Replay)
+			} else {
+				s.Campaign.Start(s.faultSpecs())
+			}
 		}
 	}
 	if s.deployErr != nil {
@@ -543,6 +571,7 @@ func (s *Site) Reset(seed uint64) error {
 	s.started = false
 	s.deployErr = nil
 	s.ranTo = 0
+	s.Trace.Reset()
 
 	// Replay the dynamic half of assembly in the exact order newSite runs
 	// it, so the reseeded random stream is consumed identically: the
@@ -651,6 +680,7 @@ func (s *Site) deployHostAgents(h *cluster.Host, bridge *agents.RegistryBridge,
 			Host:       h,
 			Services:   s.Dir,
 			Notify:     s.Bus,
+			Trace:      s.Trace,
 			AdminEmail: "oncall@" + s.Topo.Name,
 			Detected:   bridge.Detected(h.Name),
 			Repaired:   bridge.Repaired(h.Name),
@@ -753,6 +783,6 @@ func (s *Site) wireRepairPipeline() {
 		if s.Opts.Mode == ModeAgents && !f.HumanOnly {
 			return // the agents own this repair
 		}
-		attempt(f, s.Team.RepairDelay(f.Category))
+		attempt(f, s.Team.DispatchDelay(now, f.Category, f.Host, f.Aspect))
 	}
 }

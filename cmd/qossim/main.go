@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	qossim [-seed N] [-days D] [-site LIST] [-trials N] [-workers W] <scenario>
+//	qossim [-seed N] [-days D] [-site LIST] [-trials N] [-workers W]
+//	       [-trace FILE] [-tracelevel N] <scenario>
 //	qossim campaign [-scenario NAME] [-trials N] [-workers W] [-seed N]
 //	                [-days D] [-site LIST] [-cron LIST] [-ablate LIST]
-//	                [-tierfaults CELLS] [-json] [-out FILE] [<name>]
+//	                [-tierfaults CELLS] [-trace FILE] [-tracelevel N]
+//	                [-json] [-out FILE] [<name>]
+//	qossim replay -trace FILE [-workers W] [-json] [-out FILE]
+//	              [-counterfactual [TRIAL:]EVENT] [-alt LIST]
 //
 // -site takes a comma-separated list of site topologies: registered names
 // (paper, small, webfarm, computefarm, or anything registered with
@@ -46,6 +50,17 @@
 // with a deterministic tick-boundary merge: pure wall-clock parallelism
 // *inside* a trial (vs -workers *across* trials), byte-identical output
 // at any count.
+//
+// -trace FILE records every trial's decision trace — fault injections,
+// detections, diagnosis rule firings, repairs, operator pages — to a
+// JSONL file (-tracelevel 2 adds diagnosis evidence). Tracing is an
+// execution knob like -shards: the campaign output is byte-identical
+// with or without it. The replay subcommand re-runs a recorded trace
+// (injections from the file instead of the random processes), verifies
+// every trial reproduces its recorded metrics, and with -counterfactual
+// re-simulates from one recorded diagnose decision under alternative
+// repair actions (-alt, default two picked automatically) and prints the
+// outcome diff table.
 package main
 
 import (
@@ -68,15 +83,22 @@ func main() {
 		runCampaign(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
+		return
+	}
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	days := flag.Int("days", 0, "simulated days (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
 	site := flag.String("site", "small", "comma-separated site topologies: registered names (paper, small, webfarm, computefarm) and/or topology JSON files")
 	trials := flag.Int("trials", 8, "seeds per cell for the campaign-backed scenarios (latency, mttr, ablate)")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = NumCPU)")
 	shards := flag.Int("shards", 0, "intra-trial shard goroutines per site (0/1 = single-goroutine engine; results are identical at any count)")
+	tracePath := flag.String("trace", "", "record decision traces to this JSONL file (campaign-backed scenarios only)")
+	traceLevel := flag.Int("tracelevel", 0, "trace detail: 1 decision events, 2 adds diagnosis evidence (0 = 1 when -trace is set)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qossim [flags] before|after|fig2|fig3|fig4|latency|mttr|ablate\n")
 		fmt.Fprintf(os.Stderr, "       qossim campaign -help\n")
+		fmt.Fprintf(os.Stderr, "       qossim replay -help\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,8 +106,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceLevel != 0 && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "qossim: -tracelevel needs -trace to name the file the trace is written to")
+		os.Exit(2)
+	}
+	if *tracePath != "" && !traceableScenario(flag.Arg(0)) {
+		fmt.Fprintf(os.Stderr, "qossim: -trace records campaign-backed scenarios (latency, mttr, ablate-*); %q is not one — use the campaign subcommand for the year scenarios\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site),
-		Trials: *trials, Workers: *workers, Shards: *shards}
+		Trials: *trials, Workers: *workers, Shards: *shards,
+		TracePath: *tracePath, TraceLevel: *traceLevel}
 	out, err := experiments.Run(flag.Arg(0), cfg)
 	// Print whatever rendered before erroring: a campaign with failed
 	// trials returns its tables (failed-trials detail included) alongside
@@ -111,6 +142,8 @@ func runCampaign(args []string) {
 	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
 	tierFaults := fs.String("tierfaults", "", "per-tier fault-intensity axis for site scenarios: semicolon-separated cells, each a tier=mult[,tier=mult] spec or empty for the default (e.g. ';web=2;web=0.5')")
 	ablate := fs.String("ablate", "", "run ablation campaigns back to back: comma list of cron,rescue,net,resident, or all")
+	tracePath := fs.String("trace", "", "record every trial's decision trace to this JSONL file (replayable with qossim replay)")
+	traceLevel := fs.Int("tracelevel", 0, "trace detail: 1 decision events, 2 adds diagnosis evidence (0 = 1 when -trace is set)")
 	jsonOut := fs.Bool("json", false, "print the machine-readable campaign JSON instead of tables")
 	outFile := fs.String("out", "", "also write the campaign JSON to this file")
 	fs.Usage = func() {
@@ -125,7 +158,16 @@ func runCampaign(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site), Shards: *shards}
+	if *traceLevel != 0 && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "qossim campaign: -tracelevel needs -trace to name the file the trace is written to")
+		os.Exit(2)
+	}
+	if *tracePath != "" && len(names) > 1 {
+		fmt.Fprintf(os.Stderr, "qossim campaign: -trace records one campaign per file; %v would overwrite each other\n", names)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site), Shards: *shards,
+		TracePath: *tracePath, TraceLevel: *traceLevel}
 	if *tierFaults != "" {
 		// Semicolons separate axis cells so one cell can itself be a
 		// comma list; a leading/lone ';' contributes the unscaled default
@@ -197,6 +239,77 @@ func runCampaign(args []string) {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runReplay re-runs a recorded trace: injections come from the file
+// instead of the random processes, and every trial must reproduce its
+// recorded metrics exactly. With -counterfactual it instead replays one
+// trial under alternative repair actions for the targeted diagnose
+// decision and prints the outcome diff table.
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file recorded by a traced campaign run (required)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	jsonOut := fs.Bool("json", false, "print the machine-readable campaign JSON instead of tables")
+	outFile := fs.String("out", "", "also write the replayed campaign JSON to this file")
+	counterfactual := fs.String("counterfactual", "", "diagnose event to override, as EVENT-ID or TRIAL:EVENT-ID")
+	alt := fs.String("alt", "", "comma-separated alternative repair actions for -counterfactual (default: two picked automatically; \"no-batch-rescue\" disables DGSPL rescue instead)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qossim replay -trace FILE [-workers W] [-json] [-out FILE] [-counterfactual [TRIAL:]EVENT [-alt LIST]]\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *tracePath == "" || fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *alt != "" && *counterfactual == "" {
+		fmt.Fprintln(os.Stderr, "qossim replay: -alt needs -counterfactual to name the decision it varies")
+		os.Exit(2)
+	}
+	tf, err := experiments.ReadTraceFile(*tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim replay:", err)
+		os.Exit(1)
+	}
+	if *counterfactual != "" {
+		table, err := experiments.CounterfactualTable(tf, *counterfactual, splitList(*alt), *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim replay:", err)
+			os.Exit(1)
+		}
+		fmt.Print(table)
+		return
+	}
+	res, err := experiments.ReplayTrace(tf, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim replay:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "replay %s: %d trials reproduced their recorded metrics exactly\n", res.Name, len(res.Trials))
+	js, err := marshalResults([]*campaign.Result{res})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim replay: marshal:", err)
+		os.Exit(1)
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, append(js, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim replay:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(append(js, '\n'))
+	} else {
+		fmt.Print(qoscluster.FormatCampaign(res))
+	}
+}
+
+// traceableScenario reports whether a top-level scenario runs as a single
+// campaign that -trace can record. "ablate" runs four campaigns that
+// would overwrite one file, so it is excluded — name one ablation.
+func traceableScenario(name string) bool {
+	return name == "latency" || name == "mttr" || strings.HasPrefix(name, "ablate-")
 }
 
 // campaignNames resolves the -scenario flag, the -ablate list and the

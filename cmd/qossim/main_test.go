@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,6 +93,153 @@ func TestCampaignRejectsBadShards(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "-shards -3") {
 		t.Errorf("stderr missing shard-range message:\n%s", stderr)
+	}
+}
+
+// TestReplayMissingTrace: a trace file that does not exist fails fast
+// with the path in the message and exit status 1.
+func TestReplayMissingTrace(t *testing.T) {
+	t.Parallel()
+	missing := filepath.Join(t.TempDir(), "no-such.jsonl")
+	_, stderr, code := runQossim(t, "replay", "-trace", missing)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, missing) {
+		t.Errorf("stderr missing the trace path:\n%s", stderr)
+	}
+}
+
+// TestReplayRequiresTraceFlag: replay without -trace is a usage error.
+func TestReplayRequiresTraceFlag(t *testing.T) {
+	t.Parallel()
+	_, stderr, code := runQossim(t, "replay")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "usage: qossim replay") {
+		t.Errorf("stderr missing usage:\n%s", stderr)
+	}
+}
+
+// TestReplayMalformedTrace: a file that is not a trace, and a trace with
+// a corrupt line, both fail with line-numbered diagnostics.
+func TestReplayMalformedTrace(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	notTrace := filepath.Join(dir, "not-a-trace.jsonl")
+	if err := os.WriteFile(notTrace, []byte("hello world\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runQossim(t, "replay", "-trace", notTrace)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"line 1", "not a qossim trace"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	body := `{"qossim_trace":1,"matrix":{"seeds":[7]}}` + "\n{not json\n"
+	if err := os.WriteFile(corrupt, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = runQossim(t, "replay", "-trace", corrupt)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"line 2", "malformed"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestReplayWrongTopologyCLI: a trace whose recorded topology fingerprint
+// no longer matches the registered topology is refused before any trial
+// runs.
+func TestReplayWrongTopologyCLI(t *testing.T) {
+	t.Parallel()
+	stale := filepath.Join(t.TempDir(), "stale.jsonl")
+	body := `{"qossim_trace":1,"name":"x","level":1,"matrix":{"seeds":[7],"scenarios":["year"],"sites":["small"]},"topologies":{"small":"0000000000000000"}}` + "\n" +
+		`{"trial":{"index":0,"seed":7,"scenario":"year","site":"small"}}` + "\n"
+	if err := os.WriteFile(stale, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runQossim(t, "replay", "-trace", stale)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "different topology") {
+		t.Errorf("stderr missing the topology refusal:\n%s", stderr)
+	}
+}
+
+// TestTraceFlagValidation: -tracelevel without -trace is a usage error on
+// both flag sets, and -trace on a multi-campaign -ablate run is refused.
+func TestTraceFlagValidation(t *testing.T) {
+	t.Parallel()
+	_, stderr, code := runQossim(t, "-tracelevel", "2", "latency")
+	if code != 2 || !strings.Contains(stderr, "-tracelevel needs -trace") {
+		t.Errorf("scenario set: exit %d, stderr:\n%s", code, stderr)
+	}
+	_, stderr, code = runQossim(t, "campaign", "-tracelevel", "2", "before")
+	if code != 2 || !strings.Contains(stderr, "-tracelevel needs -trace") {
+		t.Errorf("campaign set: exit %d, stderr:\n%s", code, stderr)
+	}
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	_, stderr, code = runQossim(t, "campaign", "-trace", trace, "-ablate", "all")
+	if code != 2 || !strings.Contains(stderr, "one campaign per file") {
+		t.Errorf("-ablate with -trace: exit %d, stderr:\n%s", code, stderr)
+	}
+	_, stderr, code = runQossim(t, "-trace", trace, "fig2")
+	if code != 2 || !strings.Contains(stderr, "campaign-backed") {
+		t.Errorf("fig2 with -trace: exit %d, stderr:\n%s", code, stderr)
+	}
+	_, stderr, code = runQossim(t, "campaign", "-scenario", "fig3", "-trace", trace, "-trials", "1")
+	if code != 1 || !strings.Contains(stderr, "drop -trace") {
+		t.Errorf("rig scenario with -trace: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestTraceRecordReplayRoundTrip records a tiny traced campaign through
+// the real CLI, replays it, and checks the two campaign JSON files are
+// byte-identical — the CI trace smoke in miniature.
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs two real one-trial campaigns")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	orig := filepath.Join(dir, "orig.json")
+	replayed := filepath.Join(dir, "replay.json")
+	_, stderr, code := runQossim(t,
+		"campaign", "-scenario", "after", "-site", "small",
+		"-trials", "1", "-days", "2", "-seed", "7",
+		"-trace", trace, "-out", orig)
+	if code != 0 {
+		t.Fatalf("record exit code = %d (stderr: %s)", code, stderr)
+	}
+	_, stderr, code = runQossim(t, "replay", "-trace", trace, "-out", replayed)
+	if code != 0 {
+		t.Fatalf("replay exit code = %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "reproduced their recorded metrics exactly") {
+		t.Errorf("replay confirmation missing:\n%s", stderr)
+	}
+	want, err := os.ReadFile(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("replayed campaign JSON differs from the original")
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // Campaign runs the multi-trial variant of a named scenario: `trials`
@@ -37,6 +39,16 @@ func Campaign(name string, cfg Config, trials, workers int) (*campaign.Result, e
 	// topology or override re-registered between campaigns (both are
 	// documented as replaceable) can never resurface through a stale
 	// pooled site — CellKey records only the names.
+	if cfg.TracePath != "" {
+		res, buf, err := RunTracedCampaign(name, m, workers)
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(cfg.TracePath, buf, 0o644); err != nil {
+			return res, fmt.Errorf("writing trace %s: %w", cfg.TracePath, err)
+		}
+		return res, nil
+	}
 	return campaign.Run(name, m, workers, NewPooledRunFunc())
 }
 
@@ -58,10 +70,18 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 	if cfg.Shards < 0 || cfg.Shards > qoscluster.MaxShards {
 		return campaign.Matrix{}, fmt.Errorf("-shards %d outside [0, %d]", cfg.Shards, qoscluster.MaxShards)
 	}
+	traceLevel := cfg.TraceLevel
+	if cfg.TracePath != "" && traceLevel == 0 {
+		traceLevel = trace.LevelDecisions // -trace alone implies level 1
+	}
+	if traceLevel < 0 || traceLevel > trace.MaxLevel {
+		return campaign.Matrix{}, fmt.Errorf("-tracelevel %d outside [0, %d]", traceLevel, trace.MaxLevel)
+	}
 	m := campaign.Matrix{
-		Seeds:  campaign.Seeds(cfg.Seed, trials),
-		Days:   cfg.days(),
-		Shards: cfg.Shards,
+		Seeds:      campaign.Seeds(cfg.Seed, trials),
+		Days:       cfg.days(),
+		Shards:     cfg.Shards,
+		TraceLevel: traceLevel,
 	}
 	siteAxis := true
 	switch name {
@@ -154,6 +174,9 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 		}
 		if len(cfg.TierFaultScales) > 0 {
 			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig and has no tiers to scale; drop -tierfaults", name)
+		}
+		if traceLevel > 0 || cfg.TracePath != "" {
+			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig with no healing pipeline to trace; drop -trace/-tracelevel", name)
 		}
 	}
 	return m, nil
@@ -289,6 +312,7 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 		DisablePrivateNet: t.DisablePrivateNet,
 		BaselineMonitors:  t.BaselineMonitors,
 		Shards:            t.Shards,
+		TraceLevel:        t.TraceLevel,
 	}
 	if t.TierFaults != "" {
 		scale, err := ParseTierFaultScale(t.TierFaults)
@@ -465,10 +489,27 @@ func ReferenceRunTrial(t campaign.Trial) (map[string]float64, error) {
 // since pooled skeletons are keyed by site/override *names* and must not
 // survive a re-registration of either.
 func NewPooledRunFunc() campaign.RunFunc {
+	return newPooledRunFunc(nil)
+}
+
+// newPooledRunFunc is NewPooledRunFunc with an optional hook that runs
+// after each successful site trial, before the skeleton is reused — the
+// trace collector's harvest point.
+func newPooledRunFunc(after func(*qoscluster.Site, campaign.Trial)) campaign.RunFunc {
+	run := runSiteTrial
+	if after != nil {
+		run = func(s *qoscluster.Site, t campaign.Trial) (map[string]float64, error) {
+			vals, err := runSiteTrial(s, t)
+			if err == nil {
+				after(s, t)
+			}
+			return vals, err
+		}
+	}
 	pooled := campaign.ReuseRunner[*qoscluster.Site]{
 		Build: buildTrialSite,
 		Reset: func(s *qoscluster.Site, t campaign.Trial) error { return s.Reset(t.Seed) },
-		Run:   runSiteTrial,
+		Run:   run,
 	}.RunFunc()
 	return func(t campaign.Trial) (map[string]float64, error) {
 		if !siteScenario(t.Scenario) {

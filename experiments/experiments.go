@@ -43,6 +43,15 @@ type Config struct {
 	// trial (see qoscluster.WithShards); 0 or 1 keep the
 	// single-goroutine engine. Results are byte-identical at any value.
 	Shards int
+	// TracePath, when set, records every trial's decision trace and writes
+	// the campaign's trace file (JSONL) there. Implies TraceLevel 1 when
+	// TraceLevel is unset. Tracing is an execution knob: campaign results
+	// are byte-identical with or without it.
+	TracePath string
+	// TraceLevel sets the recorder level for traced campaigns: 1 records
+	// decision events, 2 adds diagnosis evidence lines (see
+	// qoscluster.WithTrace). 0 defers to TracePath's default.
+	TraceLevel int
 }
 
 func (c Config) siteArgs() []string {

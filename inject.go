@@ -194,8 +194,9 @@ func (s *Site) inject(cat metrics.Category, tier string, now simclock.Time) {
 		return // no eligible target right now; the campaign will be back
 	}
 	if s.Opts.Mode == ModeManual {
-		// Without agents, nothing notices until a human does.
-		delay := s.Team.DetectionDelay(now)
+		// Without agents, nothing notices until a human does. PageDelay is
+		// DetectionDelay plus a trace event — same draw either way.
+		delay := s.Team.PageDelay(now, cat, f.Host, f.Aspect)
 		s.Sim.After(delay, "manual-detect:"+f.Aspect, func(now2 simclock.Time) {
 			s.Registry.DetectFault(f, now2, "operator")
 		})

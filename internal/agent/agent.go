@@ -18,6 +18,7 @@ import (
 	"repro/internal/notify"
 	"repro/internal/simclock"
 	"repro/internal/svc"
+	"repro/internal/trace"
 )
 
 // Category classifies an intelliagent by function (§3.3): hardware, OS/
@@ -73,6 +74,12 @@ type Diagnosis struct {
 	RootCause string // e.g. "database crashed mid-job"
 	Action    string // prescribed repair, e.g. "restart-service"
 	Confident bool   // constraint chain fully satisfied
+	// Rule names the causal rule that fired ("" when none matched and the
+	// fault is obscure); Evidence carries the diagnosing part's rendered
+	// evidence lines when the run's trace asks for them. Both exist for
+	// decision traces and change nothing about healing.
+	Rule     string
+	Evidence []string
 }
 
 // HealResult is the outcome of one repair attempt.
@@ -105,8 +112,11 @@ type RunContext struct {
 	Detected func(aspect string, now simclock.Time)
 	// Repaired tells the fault registry a repair completed.
 	Repaired func(aspect string, now simclock.Time)
-	log      *fsim.CircLog
-	agent    *Agent
+	// Trace records diagnose/heal decision events (nil-safe; nil when the
+	// site runs untraced).
+	Trace *trace.Recorder
+	log   *fsim.CircLog
+	agent *Agent
 }
 
 // Logf appends a line to the agent's activity log (communication part).
@@ -200,6 +210,7 @@ type Agent struct {
 	report   func(kind, payload string)
 	detected func(aspect string, now simclock.Time)
 	repaired func(aspect string, now simclock.Time)
+	trace    *trace.Recorder
 
 	counters Counters
 	admins   []string
@@ -241,6 +252,8 @@ type Config struct {
 	Report   func(kind, payload string)
 	Detected func(aspect string, now simclock.Time)
 	Repaired func(aspect string, now simclock.Time)
+	// Trace records the agent's diagnose/heal decisions (nil = untraced).
+	Trace *trace.Recorder
 	// AdminEmail receives escalations.
 	AdminEmail string
 	// LogLines caps the circular activity log (default 500).
@@ -270,6 +283,7 @@ func New(cfg Config) (*Agent, error) {
 		report:   cfg.Report,
 		detected: cfg.Detected,
 		repaired: cfg.Repaired,
+		trace:    cfg.Trace,
 	}
 	if cfg.Enabled != nil {
 		a.enabled = *cfg.Enabled

@@ -61,6 +61,7 @@ func (a *Agent) Run(sim *simclock.Sim) {
 		Report:   a.report,
 		Detected: a.detected,
 		Repaired: a.repaired,
+		Trace:    a.trace,
 		log:      a.log,
 		agent:    a,
 	}
@@ -123,11 +124,21 @@ func (a *Agent) Run(sim *simclock.Sim) {
 			rc.Logf("diagnosis: %s -> root cause %q, action %s (confident=%v)",
 				d.Finding.Aspect, d.RootCause, d.Action, d.Confident)
 		}
+		// The diagnose event is the counterfactual anchor: when a replay
+		// armed an alternative for exactly this decision, the healing part
+		// runs the alternative action instead of the prescription.
+		id := rc.Trace.Diagnose(rc.Now, a.name, a.host.Name, d.Finding.Aspect,
+			d.Rule, d.RootCause, d.Action, d.Evidence)
+		if alt, ok := rc.Trace.Alternative(id); ok {
+			d.Action = alt
+		}
 		if !a.enabled.Heal || a.parts.Heal == nil {
 			a.escalate(rc, d.Finding, "healing disabled: "+d.RootCause)
 			continue
 		}
 		res := a.parts.Heal(rc, d)
+		rc.Trace.Heal(rc.Now, a.name, a.host.Name, d.Finding.Aspect,
+			res.Action, res.Detail, res.Healed, res.Deferred, res.Escalate)
 		if res.Healed {
 			a.counters.Healed++
 			a.writeFlag("healed", sanitize(d.Finding.Aspect))

@@ -122,12 +122,18 @@ func NewServiceAgent(cfg agent.Config, s *svc.Service) (*agent.Agent, error) {
 			for _, f := range fs {
 				ev := gatherServiceEvidence(s, int(f.Metric))
 				concs := rules.Diagnose(ev)
+				var lines []string
+				if rc.Trace.WantEvidence() {
+					lines = ev.Lines()
+				}
 				if len(concs) == 0 {
-					out = append(out, agent.Diagnosis{Finding: f, RootCause: "obscure error", Action: "escalate"})
+					out = append(out, agent.Diagnosis{Finding: f, RootCause: "obscure error", Action: "escalate",
+						Evidence: lines})
 					continue
 				}
 				out = append(out, agent.Diagnosis{
 					Finding: f, RootCause: concs[0].Cause, Action: concs[0].Action, Confident: true,
+					Rule: concs[0].Rule, Evidence: lines,
 				})
 			}
 			return out
@@ -148,6 +154,20 @@ func NewServiceAgent(cfg agent.Config, s *svc.Service) (*agent.Agent, error) {
 				}
 				return agent.HealResult{Action: d.Action, Healed: true, Deferred: true,
 					Detail: "restart initiated, service back after startup sequence"}
+			case "reboot-host":
+				// No diagnostic rule prescribes a reboot — this is the
+				// heavy-handed alternative counterfactual replays explore:
+				// bounce the whole host and bring every service on it back.
+				aspect := d.Finding.Aspect
+				repaired := rc.Repaired
+				heal.RebootHost(rc.Sim, rc.Host, 5*simclock.Minute, rc.Services.OnHost(rc.Host.Name),
+					func(now simclock.Time) {
+						if repaired != nil {
+							repaired(aspect, now)
+						}
+					})
+				return agent.HealResult{Action: d.Action, Healed: true, Deferred: true,
+					Detail: "host reboot initiated, services restart after boot"}
 			case "defer-to-performance":
 				return agent.HealResult{Action: d.Action, Healed: false,
 					Detail: "load problem, performance agent owns it"}

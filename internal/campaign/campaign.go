@@ -55,6 +55,10 @@ type Trial struct {
 	// results are byte-identical at any shard count, so it is excluded
 	// from the canonical JSON exactly like the worker count.
 	Shards int `json:"-"`
+	// TraceLevel is the decision-trace recorder level, copied from
+	// Matrix.TraceLevel — an execution knob like Shards: tracing changes
+	// no result, so it too stays out of the canonical JSON.
+	TraceLevel int `json:"-"`
 }
 
 // Matrix enumerates the campaign: the cross product of its axes, one Trial
@@ -82,6 +86,8 @@ type Matrix struct {
 	// axis: like the worker count it must not change any result, so
 	// sweeping it would only measure wall-clock.
 	Shards int `json:"-"`
+	// TraceLevel is stamped onto every trial (see Trial.TraceLevel).
+	TraceLevel int `json:"-"`
 }
 
 // Seeds returns n sequential seeds starting at base — the conventional way
@@ -140,6 +146,7 @@ func (m Matrix) Trials() []Trial {
 													NoBatchRescue: rescue, DisablePrivateNet: noNet,
 													BaselineMonitors: mon, Overrides: ov,
 													TierFaults: tf, Shards: m.Shards,
+													TraceLevel: m.TraceLevel,
 												})
 											}
 										}

@@ -181,6 +181,31 @@ func (e *Evidence) Below(key string, x float64) bool {
 	return ok && v < x
 }
 
+// Lines renders the evidence deterministically for decision traces:
+// numeric observations sorted by key as "key=value", then boolean facts
+// sorted by key as "key=true|false", then notes in recording order. The
+// sorted passes keep map iteration out of any trace-observable path.
+func (e *Evidence) Lines() []string {
+	out := make([]string, 0, len(e.values)+len(e.facts)+len(e.Notes))
+	keys := make([]string, 0, len(e.values))
+	for k := range e.values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%g", k, e.values[k]))
+	}
+	keys = keys[:0]
+	for k := range e.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%t", k, e.facts[k]))
+	}
+	return append(out, e.Notes...)
+}
+
 // Rule maps an evidence pattern to a root cause and prescribed action.
 // Higher-priority rules are tried first; the first match wins unless
 // Continue is set, in which case matching continues (multiple causes).

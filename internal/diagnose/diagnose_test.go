@@ -195,3 +195,42 @@ func TestQuickAdjustAdmits(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Lines must render evidence in a fixed order — sorted values, sorted
+// facts, then notes — regardless of map insertion order, since the lines
+// feed byte-identity-gated decision traces.
+func TestEvidenceLinesSorted(t *testing.T) {
+	ev := NewEvidence().
+		Observe("zeta.load", 4.5).
+		Fact("proc.present", true).
+		Observe("alpha.count", 2).
+		Fact("listener.open", false).
+		Note("first note").
+		Observe("mid.ratio", 0.25).
+		Note("second note")
+	want := []string{
+		"alpha.count=2",
+		"mid.ratio=0.25",
+		"zeta.load=4.5",
+		"listener.open=false",
+		"proc.present=true",
+		"first note",
+		"second note",
+	}
+	got := ev.Lines()
+	if len(got) != len(want) {
+		t.Fatalf("Lines() = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lines()[%d] = %q, want %q (full: %q)", i, got[i], want[i], got)
+		}
+	}
+	// Repeat: the rendering must be stable across calls.
+	again := ev.Lines()
+	for i := range want {
+		if again[i] != got[i] {
+			t.Fatalf("Lines() unstable at %d: %q vs %q", i, again[i], got[i])
+		}
+	}
+}

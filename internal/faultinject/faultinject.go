@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // Window biases fault arrivals into the day parts where the paper says they
@@ -78,6 +79,8 @@ type Registry struct {
 	// scenario hook that starts the human repair clock for faults agents
 	// cannot fix themselves.
 	OnDetected func(f *Fault, now simclock.Time)
+	// Trace, when non-nil, records fault/detect/resolve decision events.
+	Trace *trace.Recorder
 }
 
 // NewRegistry returns a registry writing to the given ledger.
@@ -105,6 +108,7 @@ func (r *Registry) Add(cat metrics.Category, host, aspect, detail string, humanO
 		Repair:    repair,
 	}
 	r.open[host] = append(r.open[host], f)
+	r.Trace.Fault(now, string(cat), host, aspect, detail)
 	return f
 }
 
@@ -171,6 +175,7 @@ func (r *Registry) DetectFault(f *Fault, now simclock.Time, by string) {
 	if f == nil || f.closed || f.Incident.Detected {
 		return
 	}
+	r.Trace.Detect(now, f.Host, f.Aspect, by)
 	r.Ledger.Detect(f.Incident, now, by)
 	if r.OnDetected != nil {
 		r.OnDetected(f, now)
@@ -202,6 +207,7 @@ func (r *Registry) resolveFault(f *Fault, now simclock.Time, by string) bool {
 		return false
 	}
 	f.closed = true
+	r.Trace.Resolve(now, f.Host, f.Aspect, by)
 	r.Ledger.Resolve(f.Incident, now, by)
 	// Compact the host slice lazily.
 	live := f.Host
@@ -272,6 +278,8 @@ type Campaign struct {
 	inject     func(cat metrics.Category, tier string, now simclock.Time)
 	counts     map[metrics.Category]int
 	tierCounts map[string]int // "tier/category" -> injections
+	// Trace, when non-nil, records every arrival — the replay schedule.
+	Trace *trace.Recorder
 }
 
 // NewCampaign returns a campaign using its own forked random stream.
@@ -344,11 +352,69 @@ func (c *Campaign) scheduleNext(s Spec) {
 		}
 	}
 	c.sim.Schedule(at, "fault:"+string(s.Category), func(now simclock.Time) {
+		c.Trace.Arrival(now, string(s.Category), tier)
 		c.counts[s.Category]++
 		if tier != "" {
 			c.tierCounts[tier+"/"+string(s.Category)]++
 		}
 		c.inject(s.Category, tier, now)
 		c.scheduleNext(s)
+	})
+}
+
+// Arrival is one recorded campaign arrival: the replay schedule's unit.
+// Re-firing a recorded run's arrivals at their recorded times, in the
+// same per-category order, against the same seed reproduces the recorded
+// incident stream exactly — the campaign's own forked random stream is
+// isolated, so the skipped interarrival/domain draws are invisible to the
+// rest of the simulation.
+type Arrival struct {
+	At       simclock.Time    `json:"at"`
+	Category metrics.Category `json:"cat"`
+	Tier     string           `json:"tier,omitempty"`
+}
+
+// StartScript drives the campaign from a recorded arrival schedule
+// instead of the Poisson processes: each spec's arrivals fire at their
+// recorded times with the recorded tier scoping, chaining one scheduled
+// event per category at a time exactly like the live path so scheduling
+// order (and therefore every same-time tie-break) matches the recorded
+// run. Specs Start would skip are skipped here too; categories with no
+// recorded arrivals schedule nothing.
+func (c *Campaign) StartScript(specs []Spec, arrivals []Arrival) {
+	byCat := make(map[metrics.Category][]Arrival)
+	for _, a := range arrivals {
+		byCat[a.Category] = append(byCat[a.Category], a)
+	}
+	// Iterate specs, not the map: Start's per-spec scheduling order is the
+	// determinism contract.
+	for _, s := range specs {
+		if s.MeanInterarrival <= 0 {
+			continue
+		}
+		if len(s.Domains) > 0 && !hasPositiveWeight(s.Domains) {
+			continue
+		}
+		q := byCat[s.Category]
+		if len(q) == 0 {
+			continue
+		}
+		delete(byCat, s.Category) // a category appears in one spec at most once per run
+		c.scheduleScripted(s.Category, q, 0)
+	}
+}
+
+func (c *Campaign) scheduleScripted(cat metrics.Category, q []Arrival, i int) {
+	a := q[i]
+	c.sim.Schedule(a.At, "fault:"+string(cat), func(now simclock.Time) {
+		c.Trace.Arrival(now, string(cat), a.Tier)
+		c.counts[cat]++
+		if a.Tier != "" {
+			c.tierCounts[a.Tier+"/"+string(cat)]++
+		}
+		c.inject(cat, a.Tier, now)
+		if i+1 < len(q) {
+			c.scheduleScripted(cat, q, i+1)
+		}
 	})
 }

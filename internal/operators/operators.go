@@ -13,6 +13,7 @@ package operators
 import (
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // Timing is the manual-operations timing model. Zero fields fall back to
@@ -49,6 +50,10 @@ type Team struct {
 	// EscalationP is the probability a fault cannot be fixed remotely and
 	// needs the 4-hour expert path, per category.
 	escalationP map[metrics.Category]float64
+	// Trace, when non-nil, records page and dispatch decision events via
+	// PageDelay/DispatchDelay. The sampling itself is unchanged: the traced
+	// wrappers draw exactly what DetectionDelay/RepairDelay draw.
+	Trace *trace.Recorder
 }
 
 // Reseed replaces the team's random stream — on site reuse the team gets a
@@ -103,10 +108,33 @@ func (t *Team) DetectionDelay(now simclock.Time) simclock.Time {
 // category's escalation probability, the expert path (mean EscalatedMean,
 // ±50%).
 func (t *Team) RepairDelay(cat metrics.Category) simclock.Time {
+	d, _ := t.repairDelay(cat)
+	return d
+}
+
+func (t *Team) repairDelay(cat metrics.Category) (delay simclock.Time, escalated bool) {
 	if t.rng.Bool(t.escalationP[cat]) {
-		return t.rng.Jitter(t.timing.EscalatedMean, 0.5)
+		return t.rng.Jitter(t.timing.EscalatedMean, 0.5), true
 	}
-	return t.rng.UniformDuration(t.timing.RestartMin, t.timing.RestartMax)
+	return t.rng.UniformDuration(t.timing.RestartMin, t.timing.RestartMax), false
+}
+
+// PageDelay is DetectionDelay plus a page decision event on the team's
+// trace: the moment manual operations are paged about a fault, with the
+// sampled time until an operator notices it.
+func (t *Team) PageDelay(now simclock.Time, cat metrics.Category, host, aspect string) simclock.Time {
+	d := t.DetectionDelay(now)
+	t.Trace.Page(now, string(cat), host, aspect, d)
+	return d
+}
+
+// DispatchDelay is RepairDelay plus a dispatch decision event on the
+// team's trace: the sampled manual repair delay and whether it took the
+// escalated expert path.
+func (t *Team) DispatchDelay(now simclock.Time, cat metrics.Category, host, aspect string) simclock.Time {
+	d, escalated := t.repairDelay(cat)
+	t.Trace.Dispatch(now, string(cat), host, aspect, d, escalated)
+	return d
 }
 
 // EscalationP reports the escalation probability for a category.

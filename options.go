@@ -4,6 +4,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/operators"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -107,6 +108,22 @@ type Options struct {
 	// single-goroutine engine; negative or absurd counts are rejected by
 	// NewSite. Ignored under ReferenceScheduler/ReferenceProbes.
 	Shards int
+	// TraceLevel enables the decision-trace recorder: 0 off (the default —
+	// a nil recorder, zero cost), 1 records every healing-pipeline decision
+	// event, 2 additionally captures diagnosis evidence lines. Tracing
+	// consumes no randomness and schedules nothing, so a traced run's
+	// simulated behaviour and campaign JSON are byte-identical to an
+	// untraced one. Like Shards, it is an execution knob, not a model axis.
+	TraceLevel int
+	// Replay, when non-nil, drives the fault campaign from a recorded
+	// arrival schedule instead of the Poisson processes (an empty non-nil
+	// slice replays a quiet run). The campaign's forked random stream goes
+	// undrawn; every other stream is untouched, so replaying a run's own
+	// arrivals under its seed reproduces it exactly.
+	Replay []faultinject.Arrival
+	// Counterfactual, during a replay with tracing enabled, overrides one
+	// recorded diagnose decision's action (see trace.Counterfactual).
+	Counterfactual *trace.Counterfactual
 }
 
 // Option is a functional scenario option for NewSite.
@@ -202,6 +219,10 @@ func WithReferenceProbes() Option { return func(o *Options) { o.ReferenceProbes 
 // byte-identical at any shard count; the win is wall-clock on multi-core
 // hardware for probe-heavy megasites.
 func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithTrace enables the decision-trace recorder at the given level (see
+// Options.TraceLevel); Site.TraceEvents returns what it recorded.
+func WithTrace(level int) Option { return func(o *Options) { o.TraceLevel = level } }
 
 // WithOptions replaces the whole Options struct — the bridge for callers
 // (like campaign trials) that assemble an Options value directly and
