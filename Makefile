@@ -8,7 +8,7 @@ PKGS := ./...
 # not when tee does.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke shard-smoke trace-smoke benchdiff clean
+.PHONY: all build test test-race bench bench-agentday perf-proof megasite-seed golden-check lint staticcheck fmt campaign-smoke topology-smoke megasite-smoke shard-smoke trace-smoke workload-smoke benchdiff clean
 
 all: lint build test
 
@@ -84,7 +84,8 @@ golden-check:
 	git diff --exit-code -- testdata/campaign-golden-paper-manual.json \
 		testdata/campaign-golden-paper-agents.json \
 		testdata/campaign-golden-small-manual.json \
-		testdata/campaign-golden-small-agents.json
+		testdata/campaign-golden-small-agents.json \
+		testdata/campaign-golden-small-flashcrowd.json
 
 # Short real campaigns whose JSON summaries feed the perf trajectory; CI
 # uploads campaign-smoke.json and ablate-smoke.json as build artifacts.
@@ -135,6 +136,20 @@ trace-smoke:
 	$(GO) run ./cmd/qossim replay -trace trace-smoke.jsonl -out trace-replay.json
 	cmp trace-original.json trace-replay.json
 
+# Workload smoke: a one-seed campaign driven by the checked-in
+# flash-crowd workload spec, re-run at -workers 8. Spec-driven arrivals
+# must be byte-identical at any worker count — cmp enforces that across
+# two separate qossim processes. CI uploads workload-smoke.json with the
+# other artifacts.
+workload-smoke:
+	$(GO) run ./cmd/qossim campaign -trials 4 -workers 1 -days 2 -seed 7 \
+		-site small -workload testdata/workload-flashcrowd.json \
+		-out workload-smoke.json before
+	$(GO) run ./cmd/qossim campaign -trials 4 -workers 8 -days 2 -seed 7 \
+		-site small -workload testdata/workload-flashcrowd.json \
+		-out workload-smoke-w8.json before
+	cmp workload-smoke.json workload-smoke-w8.json
+
 # Compare two bench data points (fails on >20% ns/op regression):
 #   make benchdiff OLD=prev/bench-agentday.txt NEW=bench-agentday.txt
 benchdiff:
@@ -159,4 +174,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json shard-smoke.json trace-smoke.jsonl trace-original.json trace-replay.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt bench-megasite-shards-proof.txt bench-megasite-shards-renamed.txt
+	rm -f campaign-smoke.json ablate-smoke.json topology-smoke.json tiers-smoke.json megasite-smoke.json shard-smoke.json trace-smoke.jsonl trace-original.json trace-replay.json workload-smoke.json workload-smoke-w8.json bench.txt bench-agentday.txt bench-proof.txt bench-megasite-proof.txt bench-megasite-shards-proof.txt bench-megasite-shards-renamed.txt

@@ -5,6 +5,7 @@ import (
 	"maps"
 	"math"
 	"slices"
+	"strings"
 
 	"repro/internal/adminsrv"
 	"repro/internal/agent"
@@ -149,7 +150,9 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 	if err := s.buildServices(); err != nil {
 		return nil, err
 	}
-	s.buildLSF()
+	if err := s.buildLSF(); err != nil {
+		return nil, err
+	}
 	s.buildProbes()
 	s.wireRepairPipeline()
 	return s, nil
@@ -265,6 +268,15 @@ func validateTierOverrides(topo Topology, opts Options) error {
 			return fmt.Errorf("tier-fault-scale for %q is %v (want a finite multiplier >= 0)", name, scale)
 		}
 	}
+	ll := slices.Sorted(maps.Keys(opts.TierLoadScale))
+	if err := check("tier-load-scale", ll); err != nil {
+		return err
+	}
+	for _, name := range ll {
+		if scale := opts.TierLoadScale[name]; math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+			return fmt.Errorf("tier-load-scale for %q is %v (want a finite multiplier >= 0)", name, scale)
+		}
+	}
 	return nil
 }
 
@@ -290,7 +302,7 @@ func (s *Site) resolvedFaults(tier Tier) *FaultsSpec {
 // play — from the topology or from option overrides. Untiered sites run
 // the pre-domain single-global-domain paths, byte-identically.
 func (s *Site) Tiered() bool {
-	if len(s.Opts.TierFaultScale) > 0 {
+	if len(s.Opts.TierFaultScale) > 0 || len(s.Opts.TierLoadScale) > 0 {
 		return true
 	}
 	for _, tier := range s.Topo.Tiers {
@@ -395,7 +407,7 @@ func (s *Site) startServices() error {
 	return nil
 }
 
-func (s *Site) buildLSF() {
+func (s *Site) buildLSF() error {
 	s.LSF = lsf.NewCluster(s.Sim, s.Dir)
 	for _, name := range s.dbServices {
 		sv := s.Dir.Get(name)
@@ -407,6 +419,37 @@ func (s *Site) buildLSF() {
 	if tiers := s.workloadDomains(); tiers != nil {
 		s.Gen.SetDomains(s.tierOf, tiers)
 	}
+	sp, err := s.resolvedSpec()
+	if err != nil {
+		return fmt.Errorf("topology %q: %w", s.Topo.Name, err)
+	}
+	if sp != nil {
+		s.Gen.SetSpec(sp)
+	}
+	return nil
+}
+
+// resolvedSpec resolves the statistical workload spec in effect: the
+// WorkloadSpec option wins (validated here, since it arrives from a
+// caller rather than the registry, whose entries validate on the way
+// in), else the topology's named spec resolves through the registry,
+// else nil — the legacy generator.
+func (s *Site) resolvedSpec() (*workload.Spec, error) {
+	if sp := s.Opts.WorkloadSpec; sp != nil {
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("workload-spec option: %w", err)
+		}
+		return sp, nil
+	}
+	if name := s.Topo.Workload; name != "" {
+		sp, ok := workload.SpecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("workload spec %q is not registered (have: %s) — register it or load its file with -workload",
+				name, strings.Join(workload.SpecNames(), ", "))
+		}
+		return &sp, nil
+	}
+	return nil, nil
 }
 
 // workloadDomains compiles the per-tier workload specs into generator
@@ -414,9 +457,11 @@ func (s *Site) buildLSF() {
 // keeps its single global domain, byte-identical to the pre-domain
 // behaviour.
 func (s *Site) workloadDomains() map[string]workload.TierLoad {
-	any := false
+	// A -tierload scale forces domains on even when no tier declares a
+	// spec: the scale multiplies the (then all-ones) resolved weights.
+	any := len(s.Opts.TierLoadScale) > 0
 	for _, tier := range s.Topo.Tiers {
-		if s.resolvedWorkload(tier) != nil {
+		if any || s.resolvedWorkload(tier) != nil {
 			any = true
 			break
 		}
@@ -440,6 +485,14 @@ func (s *Site) workloadDomains() map[string]workload.TierLoad {
 			if ws.DiurnalAmplitude != nil {
 				tl.Amp = *ws.DiurnalAmplitude
 			}
+		}
+		// The -tierload intensity axis multiplies the load weights but
+		// leaves the diurnal amplitude alone: it scales how much load the
+		// tier draws, not when the load arrives.
+		if scale, ok := s.Opts.TierLoadScale[tier.Name]; ok {
+			tl.Share *= scale
+			tl.Batch *= scale
+			tl.Feed *= scale
 		}
 		tiers[tier.Name] = tl
 	}

@@ -7,7 +7,8 @@
 //	       [-trace FILE] [-tracelevel N] <scenario>
 //	qossim campaign [-scenario NAME] [-trials N] [-workers W] [-seed N]
 //	                [-days D] [-site LIST] [-cron LIST] [-ablate LIST]
-//	                [-tierfaults CELLS] [-trace FILE] [-tracelevel N]
+//	                [-tierfaults CELLS] [-workload LIST] [-tierload CELLS]
+//	                [-trace FILE] [-tracelevel N]
 //	                [-json] [-out FILE] [<name>]
 //	qossim replay -trace FILE [-workers W] [-json] [-out FILE]
 //	              [-counterfactual [TRIAL:]EVENT] [-alt LIST]
@@ -46,6 +47,16 @@
 // (semicolon-separated cells, each a tier=mult[,tier=mult] spec — e.g.
 // -tierfaults ';web=4' pairs the unscaled default against web at 4x; a
 // tier no selected site declares is rejected before any trial runs).
+// -workload sweeps statistical workload specs as a matrix axis on the
+// site scenarios: a comma list of registered spec names (paper,
+// flashcrowd, failover, or anything registered with
+// workload.RegisterSpec) and/or workload-spec JSON files, loaded and
+// registered under their declared names; an empty cell (e.g.
+// -workload ',flashcrowd') keeps the site's own generator, which stays
+// byte-identical to a run without the flag. -tierload is the workload
+// twin of -tierfaults: per-tier workload-intensity cells with the same
+// semicolon/comma grammar, scaling each tier's analyst-share, batch and
+// feed weights.
 // -shards N advances each trial's per-tier batch work on N goroutines
 // with a deterministic tick-boundary merge: pure wall-clock parallelism
 // *inside* a trial (vs -workers *across* trials), byte-identical output
@@ -141,6 +152,8 @@ func runCampaign(args []string) {
 	site := fs.String("site", "small", "comma-separated site topologies to sweep: registered names and/or topology JSON files")
 	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
 	tierFaults := fs.String("tierfaults", "", "per-tier fault-intensity axis for site scenarios: semicolon-separated cells, each a tier=mult[,tier=mult] spec or empty for the default (e.g. ';web=2;web=0.5')")
+	workloadAxis := fs.String("workload", "", "workload-spec axis for site scenarios: comma-separated cells, each a registered spec name or a spec JSON file, empty for the site's own generator (e.g. ',flashcrowd')")
+	tierLoad := fs.String("tierload", "", "per-tier workload-intensity axis for site scenarios: semicolon-separated cells, each a tier=mult[,tier=mult] spec or empty for the default (e.g. ';db=2,fe=0.5')")
 	ablate := fs.String("ablate", "", "run ablation campaigns back to back: comma list of cron,rescue,net,resident, or all")
 	tracePath := fs.String("trace", "", "record every trial's decision trace to this JSONL file (replayable with qossim replay)")
 	traceLevel := fs.Int("tracelevel", 0, "trace detail: 1 decision events, 2 adds diagnosis evidence (0 = 1 when -trace is set)")
@@ -175,6 +188,21 @@ func runCampaign(args []string) {
 		cfg.TierFaultScales = strings.Split(*tierFaults, ";")
 		for i := range cfg.TierFaultScales {
 			cfg.TierFaultScales[i] = strings.TrimSpace(cfg.TierFaultScales[i])
+		}
+	}
+	if *tierLoad != "" {
+		cfg.TierLoadScales = strings.Split(*tierLoad, ";")
+		for i := range cfg.TierLoadScales {
+			cfg.TierLoadScales[i] = strings.TrimSpace(cfg.TierLoadScales[i])
+		}
+	}
+	if *workloadAxis != "" {
+		// Commas separate workload cells (a cell is a single name or file
+		// path); an empty cell keeps the site's own generator, so
+		// ',flashcrowd' pairs the default against the flash-crowd spec.
+		cfg.Workloads = strings.Split(*workloadAxis, ",")
+		for i := range cfg.Workloads {
+			cfg.Workloads[i] = strings.TrimSpace(cfg.Workloads[i])
 		}
 	}
 	if *cron != "" {

@@ -243,6 +243,62 @@ func TestTraceRecordReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCampaignRejectsUnknownWorkload: a -workload cell that is neither a
+// registered spec nor a loadable spec file fails before any trial runs.
+func TestCampaignRejectsUnknownWorkload(t *testing.T) {
+	t.Parallel()
+	stdout, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "1", "-workload", "no-such-spec")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{`"no-such-spec"`, "not a registered spec"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestCampaignRejectsUnknownTierLoad: like -tierfaults, a -tierload tier
+// no selected site declares is refused up front.
+func TestCampaignRejectsUnknownTierLoad(t *testing.T) {
+	t.Parallel()
+	_, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "1", "-tierload", "bogus=2")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"-tierload", `"bogus"`, "no selected site"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestCampaignWorkloadFlagRuns: a two-cell workload sweep — the site's
+// own generator vs the built-in flash-crowd spec — runs through the real
+// CLI and labels both cells.
+func TestCampaignWorkloadFlagRuns(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a real two-cell campaign")
+	}
+	stdout, stderr, code := runQossim(t,
+		"campaign", "-scenario", "before", "-site", "small",
+		"-trials", "1", "-days", "1", "-seed", "7",
+		"-workload", ",flashcrowd", "-tierload", ";db=2")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{"workload=flashcrowd", "tierload=db=2"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing the %s cell label:\n%s", want, stdout)
+		}
+	}
+}
+
 // TestCampaignShardsFlagRuns: a sharded one-trial campaign completes and
 // prints the same tables a serial run would (byte-identical output is
 // pinned by TestShardEquivalence; this is the CLI wiring check).

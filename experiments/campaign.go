@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Campaign runs the multi-trial variant of a named scenario: `trials`
@@ -138,9 +139,9 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 			return campaign.Matrix{}, err
 		}
 		m.Sites = sites
-		// The per-tier fault-intensity axis rides on any site scenario.
-		// Validate each spec now — a typo'd multiplier or tier name must
-		// fail before trials burn compute — but keep the raw strings as
+		// The per-tier intensity axes ride on any site scenario. Validate
+		// each spec now — a typo'd multiplier or tier name must fail
+		// before trials burn compute — but keep the raw strings as
 		// coordinates. A named tier must exist in at least one selected
 		// site's topology (trials scope the spec to each site's own
 		// tiers); a name no site declares would silently weight nothing.
@@ -148,26 +149,23 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 		// Aggregate would silently fold their seeds into one cell and
 		// halve every CI (a stray trailing ';' is the usual cause).
 		known := knownTiers(sites)
-		seen := map[string]int{}
-		for i, spec := range cfg.TierFaultScales {
-			scale, err := ParseTierFaultScale(spec)
-			if err != nil {
-				return campaign.Matrix{}, err
-			}
-			for _, tier := range sortedKeys(scale) {
-				if !known[tier] {
-					return campaign.Matrix{}, fmt.Errorf(
-						"-tierfaults cell %d (%q) names tier %q, which no selected site declares (sites %s have tiers: %s)",
-						i+1, spec, tier, strings.Join(sites, ", "), strings.Join(sortedKeys(known), ", "))
-				}
-			}
-			if prev, dup := seen[spec]; dup {
-				return campaign.Matrix{}, fmt.Errorf("-tierfaults cells %d and %d are both %q; duplicate cells would fold into one aggregation group",
-					prev+1, i+1, spec)
-			}
-			seen[spec] = i
+		if err := validateTierScaleAxis("-tierfaults", cfg.TierFaultScales, ParseTierFaultScale, sites, known); err != nil {
+			return campaign.Matrix{}, err
 		}
 		m.TierFaults = cfg.TierFaultScales
+		if err := validateTierScaleAxis("-tierload", cfg.TierLoadScales, ParseTierLoadScale, sites, known); err != nil {
+			return campaign.Matrix{}, err
+		}
+		m.TierLoads = cfg.TierLoadScales
+		// The workload axis: resolve names/files through the spec
+		// registry once, here, so every trial can look its spec up by
+		// name wherever it runs (ResolveWorkloads also rejects duplicate
+		// cells).
+		wls, err := ResolveWorkloads(cfg.Workloads)
+		if err != nil {
+			return campaign.Matrix{}, err
+		}
+		m.Workloads = wls
 	} else {
 		if err := validateRigSites(name, cfg.Sites); err != nil {
 			return campaign.Matrix{}, err
@@ -175,11 +173,44 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 		if len(cfg.TierFaultScales) > 0 {
 			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig and has no tiers to scale; drop -tierfaults", name)
 		}
+		if len(cfg.TierLoadScales) > 0 {
+			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig and has no tiers to scale; drop -tierload", name)
+		}
+		if len(cfg.Workloads) > 0 {
+			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig without the site workload generator; drop -workload", name)
+		}
 		if traceLevel > 0 || cfg.TracePath != "" {
 			return campaign.Matrix{}, fmt.Errorf("scenario %q runs a fixed one-host rig with no healing pipeline to trace; drop -trace/-tracelevel", name)
 		}
 	}
 	return m, nil
+}
+
+// validateTierScaleAxis vets one per-tier intensity axis (-tierfaults or
+// -tierload) cell list: every cell parses, every named tier exists in at
+// least one selected site, and no two cells are identical.
+func validateTierScaleAxis(flag string, cells []string, parse func(string) (map[string]float64, error),
+	sites []string, known map[string]bool) error {
+	seen := map[string]int{}
+	for i, spec := range cells {
+		scale, err := parse(spec)
+		if err != nil {
+			return err
+		}
+		for _, tier := range sortedKeys(scale) {
+			if !known[tier] {
+				return fmt.Errorf(
+					"%s cell %d (%q) names tier %q, which no selected site declares (sites %s have tiers: %s)",
+					flag, i+1, spec, tier, strings.Join(sites, ", "), strings.Join(sortedKeys(known), ", "))
+			}
+		}
+		if prev, dup := seen[spec]; dup {
+			return fmt.Errorf("%s cells %d and %d are both %q; duplicate cells would fold into one aggregation group",
+				flag, prev+1, i+1, spec)
+		}
+		seen[spec] = i
+	}
+	return nil
 }
 
 // validateRigSites vets -site arguments for the scenarios that build a
@@ -244,6 +275,20 @@ func lookupOverride(name string) func(*qoscluster.Options) {
 // that no selected site's topology declares, and each trial scopes the
 // map to its own site's tiers (scopeTierScale).
 func ParseTierFaultScale(spec string) (map[string]float64, error) {
+	return parseTierScale(spec, "tier-fault")
+}
+
+// ParseTierLoadScale parses a per-tier workload-intensity spec — the same
+// "web=2,db=0.5" grammar as ParseTierFaultScale — into the
+// qoscluster.Options.TierLoadScale map. An empty spec returns nil (the
+// topology's own per-tier workload shares unscaled).
+func ParseTierLoadScale(spec string) (map[string]float64, error) {
+	return parseTierScale(spec, "tier-load")
+}
+
+// parseTierScale is the shared tier=multiplier comma-list parser behind
+// both per-tier intensity axes; kind names the axis in error messages.
+func parseTierScale(spec, kind string) (map[string]float64, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
 	}
@@ -256,22 +301,22 @@ func ParseTierFaultScale(spec string) (map[string]float64, error) {
 		tier, val, ok := strings.Cut(part, "=")
 		tier = strings.TrimSpace(tier)
 		if !ok || tier == "" {
-			return nil, fmt.Errorf("tier-fault entry %q: want tier=multiplier", part)
+			return nil, fmt.Errorf("%s entry %q: want tier=multiplier", kind, part)
 		}
 		scale, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
 		if err != nil {
-			return nil, fmt.Errorf("tier-fault entry %q: %w", part, err)
+			return nil, fmt.Errorf("%s entry %q: %w", kind, part, err)
 		}
 		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
-			return nil, fmt.Errorf("tier-fault entry %q: want a finite multiplier >= 0", part)
+			return nil, fmt.Errorf("%s entry %q: want a finite multiplier >= 0", kind, part)
 		}
 		if _, dup := out[tier]; dup {
-			return nil, fmt.Errorf("tier-fault spec names tier %q twice", tier)
+			return nil, fmt.Errorf("%s spec names tier %q twice", kind, tier)
 		}
 		out[tier] = scale
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("tier-fault spec %q names no tiers", spec)
+		return nil, fmt.Errorf("%s spec %q names no tiers", kind, spec)
 	}
 	return out, nil
 }
@@ -321,6 +366,21 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 		}
 		o.TierFaultScale = scale
 	}
+	if t.TierLoad != "" {
+		scale, err := ParseTierLoadScale(t.TierLoad)
+		if err != nil {
+			return o, err
+		}
+		o.TierLoadScale = scale
+	}
+	if t.Workload != "" {
+		sp, ok := workload.SpecByName(t.Workload)
+		if !ok {
+			return o, fmt.Errorf("workload spec %q is not registered (known: %s)",
+				t.Workload, strings.Join(workload.SpecNames(), ", "))
+		}
+		o.WorkloadSpec = &sp
+	}
 	switch t.Mode {
 	case "manual", "":
 		o.Mode = qoscluster.ModeManual
@@ -369,6 +429,7 @@ func trialSiteOptions(t campaign.Trial) (qoscluster.Options, error) {
 		return o, err
 	}
 	o.TierFaultScale = scopeTierScale(o.TierFaultScale, t.Site)
+	o.TierLoadScale = scopeTierScale(o.TierLoadScale, t.Site)
 	return o, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	qoscluster "repro"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/workload"
 )
 
 // Config parameterises a run.
@@ -39,6 +40,15 @@ type Config struct {
 	// the site scenarios: each entry is a "tier=mult[,tier=mult]" spec
 	// (or "" for the unscaled default) and becomes one aggregation cell.
 	TierFaultScales []string
+	// Workloads sweeps statistical workload specs as a matrix axis on
+	// the site scenarios: registered spec names (paper, flashcrowd,
+	// failover, or anything workload.RegisterSpec added) and/or paths to
+	// workload-spec JSON files; "" selects the site's own workload. Each
+	// entry becomes one aggregation cell.
+	Workloads []string
+	// TierLoadScales sweeps per-tier load intensity as a matrix axis —
+	// the workload twin of TierFaultScales, same "tier=mult" cells.
+	TierLoadScales []string
 	// Shards is the intra-trial parallelism degree handed to every site
 	// trial (see qoscluster.WithShards); 0 or 1 keep the
 	// single-goroutine engine. Results are byte-identical at any value.
@@ -91,6 +101,44 @@ func ResolveSites(args []string) ([]string, error) {
 		}
 		if prev, dup := used[name]; dup {
 			return nil, fmt.Errorf("site %q resolves to %q, already named by %q", arg, name, prev)
+		}
+		used[name] = arg
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// ResolveWorkloads canonicalises workload-axis arguments into registered
+// spec names, with the same rules as ResolveSites: "" (the site's own
+// workload) passes through, a registered spec name passes through, and
+// anything else is treated as a workload-spec JSON file, which is
+// loaded, validated and registered under its declared name so campaign
+// trials can look it up wherever they run. A file whose declared name
+// collides with a different already-registered spec is rejected
+// (re-loading an identical declaration is fine), as is the same
+// resolved name appearing twice.
+func ResolveWorkloads(args []string) ([]string, error) {
+	out := make([]string, 0, len(args))
+	used := map[string]string{} // resolved name -> the arg that claimed it
+	for _, arg := range args {
+		name := arg
+		if _, ok := workload.SpecByName(arg); !ok && arg != "" {
+			sp, err := workload.LoadSpecFile(arg)
+			if err != nil {
+				return nil, fmt.Errorf("workload %q: not a registered spec (%s) and not loadable as a spec file: %w",
+					arg, strings.Join(workload.SpecNames(), ", "), err)
+			}
+			if existing, ok := workload.SpecByName(sp.Name); ok && !reflect.DeepEqual(existing, sp) {
+				return nil, fmt.Errorf("workload %q: declares name %q, which is already registered as a different spec",
+					arg, sp.Name)
+			}
+			if err := workload.RegisterSpec(sp); err != nil {
+				return nil, fmt.Errorf("workload %q: %w", arg, err)
+			}
+			name = sp.Name
+		}
+		if prev, dup := used[name]; dup {
+			return nil, fmt.Errorf("workload %q resolves to %q, already named by %q", arg, name, prev)
 		}
 		used[name] = arg
 		out = append(out, name)

@@ -72,6 +72,55 @@ func TestCampaignGoldenNoTierSpecs(t *testing.T) {
 	}
 }
 
+// TestCampaignGoldenFlashcrowd pins the statistical arrival engine: the
+// checked-in flash-crowd workload spec (testdata/workload-flashcrowd.json)
+// driving the small site must produce campaign JSON byte-identical to the
+// checked-in golden, on both the fresh-build and pooled Reset paths. If
+// this fails the spec engine's draws or arithmetic moved; fix the engine,
+// or regenerate (go run ./scripts/campaigngolden) only for a change that
+// is *supposed* to move the spec-driven numbers, and say so in the commit
+// message.
+func TestCampaignGoldenFlashcrowd(t *testing.T) {
+	t.Parallel()
+	want, err := os.ReadFile(filepath.Join("..", "testdata", "campaign-golden-small-flashcrowd.json"))
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	wls, err := ResolveWorkloads([]string{filepath.Join("..", "testdata", "workload-flashcrowd.json")})
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	m := campaign.Matrix{
+		Seeds:     campaign.Seeds(7, 2),
+		Scenarios: []string{"year"},
+		Sites:     []string{"small"},
+		Modes:     []string{"manual"},
+		Days:      1,
+		Workloads: wls,
+	}
+	runs := []struct {
+		name string
+		fn   campaign.RunFunc
+	}{
+		{"fresh", RunTrial},
+		{"pooled", NewPooledRunFunc()},
+	}
+	for _, run := range runs {
+		res, err := campaign.Run("golden", m, 1, run.fn)
+		if err != nil {
+			t.Fatalf("%s campaign: %v", run.name, err)
+		}
+		got, err := res.JSON()
+		if err != nil {
+			t.Fatalf("%s JSON: %v", run.name, err)
+		}
+		got = append(got, '\n')
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s path diverged from the flash-crowd golden:\n%s", run.name, firstDiff(want, got))
+		}
+	}
+}
+
 // TestWebfarmTierSpecDivergence proves the canned webfarm per-tier specs
 // change where faults land and what the workload offers — the tiers
 // genuinely diverge rather than relabelling the same site. It runs the

@@ -88,6 +88,8 @@ type Group struct {
 	BaselineMonitors  bool            `json:"baseline_monitors,omitempty"`
 	Overrides         string          `json:"overrides,omitempty"`
 	TierFaults        string          `json:"tier_faults,omitempty"`
+	Workload          string          `json:"workload,omitempty"`
+	TierLoad          string          `json:"tier_load,omitempty"`
 	Seeds             int             `json:"seeds"`
 	Errors            int             `json:"errors,omitempty"`
 	Stats             map[string]Stat `json:"stats"`
@@ -117,6 +119,8 @@ type groupKey struct {
 	noRescue, noNet, mon bool
 	overrides            string
 	tierFaults           string
+	workload             string
+	tierLoad             string
 }
 
 func keyOf(t Trial) groupKey {
@@ -125,6 +129,7 @@ func keyOf(t Trial) groupKey {
 		cron: t.CronPeriod, agentSet: t.AgentSet,
 		noRescue: t.NoBatchRescue, noNet: t.DisablePrivateNet, mon: t.BaselineMonitors,
 		overrides: t.Overrides, tierFaults: t.TierFaults,
+		workload: t.Workload, tierLoad: t.TierLoad,
 	}
 }
 
@@ -136,7 +141,7 @@ func GroupOf(t Trial) Group {
 		CronPeriod: t.CronPeriod, AgentSet: t.AgentSet,
 		NoBatchRescue: t.NoBatchRescue, DisablePrivateNet: t.DisablePrivateNet,
 		BaselineMonitors: t.BaselineMonitors, Overrides: t.Overrides,
-		TierFaults: t.TierFaults,
+		TierFaults: t.TierFaults, Workload: t.Workload, TierLoad: t.TierLoad,
 	}
 }
 

@@ -50,6 +50,15 @@ type Trial struct {
 	// "web=2,db=0.5" scaling the named tiers' fault selection weights.
 	// "" means the topology's own per-tier specs unscaled.
 	TierFaults string `json:"tier_faults,omitempty"`
+	// Workload names the statistical workload spec driving the trial's
+	// offered load (a registered spec name; file-loaded specs register
+	// under their declared name at resolve time). "" means the site's
+	// own workload — the topology's named spec, or the legacy generator.
+	Workload string `json:"workload,omitempty"`
+	// TierLoad is the per-tier load-intensity coordinate, the workload
+	// twin of TierFaults: "web=2,db=0.5" multiplies the named tiers'
+	// resolved workload-domain weights. "" means unscaled.
+	TierLoad string `json:"tier_load,omitempty"`
 	// Shards is the intra-trial parallelism degree, copied from
 	// Matrix.Shards. It is an execution knob, not an axis coordinate:
 	// results are byte-identical at any shard count, so it is excluded
@@ -82,6 +91,12 @@ type Matrix struct {
 	// Trial.TierFaults); the usual axis pairs the default "" against one
 	// or more scaled cells.
 	TierFaults []string `json:"tier_faults,omitempty"`
+	// Workloads sweeps statistical workload specs by registered name
+	// (see Trial.Workload); "" in the list means the site's default.
+	Workloads []string `json:"workloads,omitempty"`
+	// TierLoads sweeps per-tier load-intensity specs (see
+	// Trial.TierLoad).
+	TierLoads []string `json:"tier_loads,omitempty"`
 	// Shards is stamped onto every trial (see Trial.Shards). Not an
 	// axis: like the worker count it must not change any result, so
 	// sweeping it would only measure wall-clock.
@@ -123,9 +138,10 @@ func orFalse(xs []bool) []bool {
 
 // Trials enumerates the cross product in deterministic order: scenario
 // outermost, then site, mode, cron period, agent set, the ablation
-// toggles (batch rescue, private net, baseline monitors), overrides and
-// the per-tier fault-intensity spec, with the seed axis innermost so that
-// one aggregation group's trials are contiguous.
+// toggles (batch rescue, private net, baseline monitors), overrides, the
+// per-tier fault-intensity spec, the workload spec and the per-tier
+// load-intensity spec, with the seed axis innermost so that one
+// aggregation group's trials are contiguous.
 func (m Matrix) Trials() []Trial {
 	var out []Trial
 	for _, sc := range orBlank(m.Scenarios) {
@@ -138,16 +154,20 @@ func (m Matrix) Trials() []Trial {
 								for _, mon := range orFalse(m.BaselineMonitors) {
 									for _, ov := range orBlank(m.Overrides) {
 										for _, tf := range orBlank(m.TierFaults) {
-											for _, seed := range m.Seeds {
-												out = append(out, Trial{
-													Index: len(out), Seed: seed, Scenario: sc,
-													Site: site, Mode: mode, Days: m.Days,
-													CronPeriod: cron, AgentSet: as,
-													NoBatchRescue: rescue, DisablePrivateNet: noNet,
-													BaselineMonitors: mon, Overrides: ov,
-													TierFaults: tf, Shards: m.Shards,
-													TraceLevel: m.TraceLevel,
-												})
+											for _, wl := range orBlank(m.Workloads) {
+												for _, tl := range orBlank(m.TierLoads) {
+													for _, seed := range m.Seeds {
+														out = append(out, Trial{
+															Index: len(out), Seed: seed, Scenario: sc,
+															Site: site, Mode: mode, Days: m.Days,
+															CronPeriod: cron, AgentSet: as,
+															NoBatchRescue: rescue, DisablePrivateNet: noNet,
+															BaselineMonitors: mon, Overrides: ov,
+															TierFaults: tf, Workload: wl, TierLoad: tl,
+															Shards: m.Shards, TraceLevel: m.TraceLevel,
+														})
+													}
+												}
 											}
 										}
 									}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/simclock"
+)
+
+// gammaSample draws Gamma(shape, scale 1) via Marsaglia–Tsang: the
+// squeeze-accept method for shape >= 1, with the standard boost
+// gamma(a) = gamma(a+1)·U^(1/a) below 1. Every draw consumes the given
+// stream only, so per-class forks keep the campaign deterministic.
+func gammaSample(rng *simclock.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: sample at shape+1 and scale back down.
+		u := rng.Float64()
+		if u <= 0 {
+			return 0
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullSample draws Weibull(shape, scale 1) by inverse transform:
+// (-ln U)^(1/shape). Shape < 1 is heavy-tailed (long silences, tight
+// clusters), shape > 1 quasi-regular.
+func weibullSample(rng *simclock.Rand, shape float64) float64 {
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	// 1-u is uniform too; it keeps the argument of Log away from zero
+	// for the common u ~ 0 draws.
+	return math.Pow(-math.Log(1-u), 1/shape)
+}
+
+// interarrival draws one interarrival time for a class whose current
+// mean spacing is mean, under the class's declared process. Every
+// process is normalised to the same mean, so the choice shapes the
+// arrival texture — regular ticks, memoryless Poisson, bursty Gamma,
+// heavy-tailed Weibull — without changing offered volume.
+func interarrival(rng *simclock.Rand, c ClassSpec, mean simclock.Time) simclock.Time {
+	var d simclock.Time
+	switch c.Process {
+	case ProcTicks:
+		// Deterministic: arrivals exactly mean apart, no draw.
+		d = mean
+	case ProcPoisson:
+		d = rng.ExpDuration(mean)
+	case ProcGamma:
+		// Gamma(shape) has mean shape; divide it out for mean 1.
+		d = simclock.Time(float64(mean) * gammaSample(rng, c.Shape) / c.Shape)
+	case ProcWeibull:
+		// Weibull(shape, scale 1) has mean Γ(1+1/shape).
+		d = simclock.Time(float64(mean) * weibullSample(rng, c.Shape) / math.Gamma(1+1/c.Shape))
+	default:
+		// Validate rejects unknown processes before a spec can run.
+		panic("workload: unknown arrival process " + c.Process)
+	}
+	if d < 1 {
+		// Never schedule a zero-delay arrival: the chain must advance
+		// the clock or an unlucky draw could spin the event loop.
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/simclock"
+)
+
+// Surge kinds a SurgeSpec may declare.
+const (
+	// SurgeFlashCrowd models a sudden user rush — breaking market news,
+	// a viral dashboard: it multiplies the affected classes' arrival
+	// rates AND the site's interactive ambience (front-end analysts,
+	// ad-hoc database queries) while the window is open.
+	SurgeFlashCrowd = "flash-crowd"
+	// SurgeFailover models a partner site cutting its traffic over —
+	// its market feeds land here: it multiplies the affected classes'
+	// arrival rates AND the transaction tier's feed load (ambient CPU
+	// and feed disk activity) while the window is open.
+	SurgeFailover = "failover-surge"
+)
+
+// surgeKinds lists the valid SurgeSpec.Kind values.
+var surgeKinds = []string{SurgeFlashCrowd, SurgeFailover}
+
+// SurgeSpec is one named surge scenario: a trapezoid envelope — linear
+// ramp up, hold at peak, linear decay — anchored at an onset day/hour,
+// optionally repeating. While the envelope is open the surge multiplies
+// arrival rates of its Classes (all classes when empty) by up to Peak,
+// plus the kind's ambience or feed load.
+type SurgeSpec struct {
+	// Name labels the surge (unique within the spec).
+	Name string `json:"name"`
+	// Kind is flash-crowd or failover-surge.
+	Kind string `json:"kind"`
+	// OnsetDay and OnsetHour anchor the window start: day OnsetDay of
+	// the trial (0-based), OnsetHour hours (fractional) into that day.
+	OnsetDay  int     `json:"onset_day"`
+	OnsetHour float64 `json:"onset_hour"`
+	// RampHours/HoldHours/DecayHours shape the trapezoid; the total
+	// window must be positive.
+	RampHours  float64 `json:"ramp_hours"`
+	HoldHours  float64 `json:"hold_hours"`
+	DecayHours float64 `json:"decay_hours"`
+	// Peak is the multiplier at full envelope (>= 1; 1 = no-op).
+	Peak float64 `json:"peak"`
+	// Classes restricts the arrival-rate boost to the named classes;
+	// empty boosts every class.
+	Classes []string `json:"classes,omitempty"`
+	// RepeatDays repeats the window every RepeatDays days after onset
+	// (0 = one-off). The window must fit inside the repeat period.
+	RepeatDays int `json:"repeat_days,omitempty"`
+}
+
+// maxSurgePeak bounds a surge's multiplier; anything bigger is a typo
+// that would swamp the simulation.
+const maxSurgePeak = 100
+
+// validate checks one surge within its spec: known kind, sane window
+// and peak, and Classes naming only declared classes.
+func (sg SurgeSpec) validate(specName string, classes map[string]bool) error {
+	if sg.Name == "" {
+		return fmt.Errorf("workload spec %q: surge with no name", specName)
+	}
+	switch sg.Kind {
+	case SurgeFlashCrowd, SurgeFailover:
+	default:
+		return fmt.Errorf("workload spec %q surge %q: unknown kind %q (want one of %s)",
+			specName, sg.Name, sg.Kind, strings.Join(surgeKinds, ", "))
+	}
+	if sg.OnsetDay < 0 {
+		return fmt.Errorf("workload spec %q surge %q: onset_day %d is negative", specName, sg.Name, sg.OnsetDay)
+	}
+	if math.IsNaN(sg.OnsetHour) || sg.OnsetHour < 0 || sg.OnsetHour >= 24 {
+		return fmt.Errorf("workload spec %q surge %q: onset_hour %v out of range [0, 24)", specName, sg.Name, sg.OnsetHour)
+	}
+	for _, v := range []struct {
+		name string
+		h    float64
+	}{{"ramp_hours", sg.RampHours}, {"hold_hours", sg.HoldHours}, {"decay_hours", sg.DecayHours}} {
+		if math.IsNaN(v.h) || math.IsInf(v.h, 0) || v.h < 0 {
+			return fmt.Errorf("workload spec %q surge %q: %s %v (want a finite value >= 0)", specName, sg.Name, v.name, v.h)
+		}
+	}
+	total := sg.RampHours + sg.HoldHours + sg.DecayHours
+	if total <= 0 {
+		return fmt.Errorf("workload spec %q surge %q: ramp+hold+decay is %v hours — the window never opens", specName, sg.Name, total)
+	}
+	if math.IsNaN(sg.Peak) || math.IsInf(sg.Peak, 0) || sg.Peak < 1 || sg.Peak > maxSurgePeak {
+		return fmt.Errorf("workload spec %q surge %q: peak %v out of range [1, %d]", specName, sg.Name, sg.Peak, maxSurgePeak)
+	}
+	for _, c := range sg.Classes {
+		if !classes[c] {
+			return fmt.Errorf("workload spec %q surge %q: unknown class %q", specName, sg.Name, c)
+		}
+	}
+	if sg.RepeatDays < 0 {
+		return fmt.Errorf("workload spec %q surge %q: repeat_days %d is negative", specName, sg.Name, sg.RepeatDays)
+	}
+	if sg.RepeatDays > 0 && total > float64(sg.RepeatDays)*24 {
+		return fmt.Errorf("workload spec %q surge %q: a %v-hour window cannot repeat every %d day(s)",
+			specName, sg.Name, total, sg.RepeatDays)
+	}
+	return nil
+}
+
+// envelope reports the surge's activation in [0, 1] at t: 0 outside the
+// window, ramping linearly to 1, holding, then decaying linearly.
+func (sg SurgeSpec) envelope(t simclock.Time) float64 {
+	start := simclock.Time(sg.OnsetDay)*simclock.Day +
+		simclock.Time(sg.OnsetHour*float64(simclock.Hour))
+	if t < start {
+		return 0
+	}
+	// Hours since the (possibly folded) window opened.
+	h := float64(t-start) / float64(simclock.Hour)
+	if sg.RepeatDays > 0 {
+		h = math.Mod(h, float64(sg.RepeatDays)*24)
+	}
+	switch {
+	case h < sg.RampHours:
+		return h / sg.RampHours
+	case h < sg.RampHours+sg.HoldHours:
+		return 1
+	case h < sg.RampHours+sg.HoldHours+sg.DecayHours:
+		return 1 - (h-sg.RampHours-sg.HoldHours)/sg.DecayHours
+	default:
+		return 0
+	}
+}
+
+// factor is the surge's load multiplier at t: exactly 1 outside the
+// window (so multiplying by it is bit-exact), up to Peak inside.
+func (sg SurgeSpec) factor(t simclock.Time) float64 {
+	env := sg.envelope(t)
+	if env == 0 {
+		return 1
+	}
+	return 1 + (sg.Peak-1)*env
+}
+
+// covers reports whether the surge boosts the named class's arrivals
+// (an empty Classes list covers every class).
+func (sg SurgeSpec) covers(class string) bool {
+	if len(sg.Classes) == 0 {
+		return true
+	}
+	for _, c := range sg.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// classFactor is the product of every surge multiplier covering the
+// named class at t — exactly 1 when no surge window is open.
+func (s *Spec) classFactor(class string, t simclock.Time) float64 {
+	f := 1.0
+	for _, sg := range s.Surges {
+		if sg.covers(class) {
+			f *= sg.factor(t)
+		}
+	}
+	return f
+}
+
+// ambienceFactor is the product of flash-crowd surge multipliers at t:
+// the crowd hammering GUIs and ad-hoc queries, not just batch arrivals.
+func (s *Spec) ambienceFactor(t simclock.Time) float64 {
+	f := 1.0
+	for _, sg := range s.Surges {
+		if sg.Kind == SurgeFlashCrowd {
+			f *= sg.factor(t)
+		}
+	}
+	return f
+}
+
+// feedFactor is the product of failover-surge multipliers at t: the
+// partner site's feeds landing on the transaction tier.
+func (s *Spec) feedFactor(t simclock.Time) float64 {
+	f := 1.0
+	for _, sg := range s.Surges {
+		if sg.Kind == SurgeFailover {
+			f *= sg.factor(t)
+		}
+	}
+	return f
+}

@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// TestDiurnalShapeBoundaries pins the shape at each piecewise boundary:
+// the segments meet (to within the trading-day dip's e^-8 residue) at
+// 06:00, 09:00, 17:00 and 22:00, and the weekend plateau matches the
+// late-evening level so Friday night rolls into Saturday smoothly.
+// Monday 00:00 steps 0.15 -> 0.05 by design (overnight quiet is deeper
+// than weekend daytime); the test pins the step so it cannot drift.
+func TestDiurnalShapeBoundaries(t *testing.T) {
+	eps := simclock.Time(1) // one tick
+	boundaries := []simclock.Time{
+		6 * simclock.Hour, 9 * simclock.Hour, 17 * simclock.Hour, 22 * simclock.Hour,
+	}
+	for _, b := range boundaries {
+		before, after := DiurnalShape(b-eps), DiurnalShape(b)
+		if math.Abs(before-after) > 1e-3 {
+			t.Errorf("shape jumps at %v: %v -> %v", b, before, after)
+		}
+	}
+	// Friday 23:59 -> Saturday 00:00: both on the 0.15 plateau.
+	fri := 5*simclock.Day - eps
+	sat := 5 * simclock.Day
+	if DiurnalShape(fri) != 0.15 || DiurnalShape(sat) != 0.15 {
+		t.Errorf("weekend transition: fri=%v sat=%v, want 0.15 both sides",
+			DiurnalShape(fri), DiurnalShape(sat))
+	}
+	// Sunday 23:59 -> Monday 00:00: the pinned step down into the
+	// overnight trough.
+	sun := 7*simclock.Day - eps
+	mon := 7 * simclock.Day
+	if DiurnalShape(sun) != 0.15 {
+		t.Errorf("Sunday night = %v, want 0.15", DiurnalShape(sun))
+	}
+	if DiurnalShape(mon) != 0.05 {
+		t.Errorf("Monday midnight = %v, want 0.05", DiurnalShape(mon))
+	}
+}
+
+// TestShapedAmplitudeClamp: amplitudes above 1 exaggerate the swing and
+// clamp at zero instead of going negative; 1 is bit-exact; 0 is flat.
+func TestShapedAmplitudeClamp(t *testing.T) {
+	if got := shaped(0.05, 2); got != 0 {
+		t.Errorf("shaped(0.05, 2) = %v, want 0 (clamped)", got)
+	}
+	if got := shaped(0.5, 2); got != 0 {
+		t.Errorf("shaped(0.5, 2) = %v, want 0 (exactly at the clamp)", got)
+	}
+	if got := shaped(0.9, 2); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("shaped(0.9, 2) = %v, want 0.8", got)
+	}
+	for _, s := range []float64{0, 0.05, 0.3333333, 1} {
+		if got := shaped(s, 1); got != s {
+			t.Errorf("shaped(%v, 1) = %v, want bit-exact pass-through", s, got)
+		}
+		if got := shaped(s, 0); got != 1 {
+			t.Errorf("shaped(%v, 0) = %v, want flat 1", s, got)
+		}
+	}
+}
+
+// TestStopClearsTickers pins the Stop/Start/Stop cycle: Stop must clear
+// the ticker slice so a restart registers each load source exactly once
+// instead of double-appending (the old leak doubled interactive load
+// refreshes and batch tickers on every restart).
+func TestStopClearsTickers(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	base := len(r.gen.tickers)
+	if base == 0 {
+		t.Fatal("Start registered no tickers")
+	}
+	r.sim.RunUntil(simclock.Day)
+	r.gen.Stop()
+	if len(r.gen.tickers) != 0 {
+		t.Fatalf("Stop left %d tickers registered", len(r.gen.tickers))
+	}
+	r.gen.Start()
+	if len(r.gen.tickers) != base {
+		t.Fatalf("restart registered %d tickers, want %d", len(r.gen.tickers), base)
+	}
+	r.sim.RunUntil(2 * simclock.Day)
+	n := r.gen.JobsSubmitted
+	r.gen.Stop()
+	r.sim.RunUntil(3 * simclock.Day)
+	if r.gen.JobsSubmitted != n {
+		t.Error("generator kept submitting after the second Stop")
+	}
+}
+
+// TestStopCancelsClassArrivals: in spec mode Stop must also cancel the
+// pending per-class arrival events, or the chains keep submitting.
+func TestStopCancelsClassArrivals(t *testing.T) {
+	r := newRig(t)
+	spec := PaperSpec()
+	r.gen.SetSpec(&spec)
+	r.gen.Start()
+	r.sim.RunUntil(simclock.Day)
+	if r.gen.JobsSubmitted == 0 {
+		t.Fatal("spec-driven generator submitted nothing in a day")
+	}
+	r.gen.Stop()
+	n := r.gen.JobsSubmitted
+	r.sim.RunUntil(2 * simclock.Day)
+	if r.gen.JobsSubmitted != n {
+		t.Errorf("class chains kept submitting after Stop: %d -> %d", n, r.gen.JobsSubmitted)
+	}
+}
+
+// crashAndRecover crashes tx1 mid-window and forces it back up, the
+// sequence that loses feed load under the legacy one-shot path.
+func crashAndRecover(r *rig, at simclock.Time) {
+	r.sim.RunUntil(at)
+	tx := r.dc.Host("tx1")
+	tx.Crash()
+	tx.ForceUp(r.sim.Now())
+}
+
+// TestFeedLoadRestoredAfterRecovery: with a workload spec installed, a
+// transaction host that crashes and recovers gets its feed disk load
+// back at the next refresh tick.
+func TestFeedLoadRestoredAfterRecovery(t *testing.T) {
+	r := newRig(t)
+	spec := PaperSpec()
+	r.gen.SetSpec(&spec)
+	r.gen.Start()
+	crashAndRecover(r, 4*simclock.Hour+1*simclock.Minute)
+	if busy := r.dc.Host("tx1").IOStat().BusyPct; busy != 0 {
+		t.Fatalf("crash should zero feed disk activity, got %v", busy)
+	}
+	// Past the next 15-minute refresh.
+	r.sim.RunUntil(4*simclock.Hour + 31*simclock.Minute)
+	if busy := r.dc.Host("tx1").IOStat().BusyPct; busy == 0 {
+		t.Error("feed load not restored after recovery under a workload spec")
+	}
+}
+
+// TestFeedLoadRestoredWithDomains: the fix also covers tier-domain
+// sites (SetDomains without a spec), which share the refresh path.
+func TestFeedLoadRestoredWithDomains(t *testing.T) {
+	r := newRig(t)
+	r.gen.SetDomains(map[string]string{"tx1": "feeds"},
+		map[string]TierLoad{"feeds": {Share: 1, Batch: 1, Feed: 1, Amp: 1}})
+	r.gen.Start()
+	crashAndRecover(r, 4*simclock.Hour+1*simclock.Minute)
+	r.sim.RunUntil(4*simclock.Hour + 31*simclock.Minute)
+	if busy := r.dc.Host("tx1").IOStat().BusyPct; busy == 0 {
+		t.Error("feed load not restored after recovery with domains installed")
+	}
+}
+
+// TestLegacyFeedLoadStaysLost pins the historical behaviour the goldens
+// depend on: without a spec or domains, recovered hosts stay feed-less.
+func TestLegacyFeedLoadStaysLost(t *testing.T) {
+	r := newRig(t)
+	r.gen.Start()
+	crashAndRecover(r, 4*simclock.Hour+1*simclock.Minute)
+	r.sim.RunUntil(simclock.Day)
+	if busy := r.dc.Host("tx1").IOStat().BusyPct; busy != 0 {
+		t.Errorf("legacy path re-applied feed load (busy %v); goldens pin it lost", busy)
+	}
+}
+
+// TestLowRateLegacyTruncatesToZero pins bugfix #3's two sides: the
+// legacy hourly path floors int(rate·shape·jitter), so a sub-1/hour
+// rate submits nothing, while a spec class at the same rate draws
+// interarrival times and submits at its true long-run rate.
+func TestLowRateLegacyTruncatesToZero(t *testing.T) {
+	legacy := newRig(t)
+	legacy.gen.cfg.DayJobsPerHour = 0.5
+	legacy.gen.cfg.OvernightJobs = 0
+	legacy.gen.Start()
+	legacy.sim.RunUntil(4 * simclock.Day)
+	if n := legacy.gen.JobsSubmitted; n != 0 {
+		t.Errorf("legacy truncation submitted %d jobs at 0.5/hour; goldens pin 0", n)
+	}
+
+	spec := newRig(t)
+	spec.gen.cfg.DayJobsPerHour = 0.5
+	spec.gen.cfg.OvernightJobs = 0
+	s := onePoisson("lowrate")
+	spec.gen.SetSpec(&s)
+	spec.gen.Start()
+	spec.sim.RunUntil(4 * simclock.Day)
+	if n := spec.gen.JobsSubmitted; n == 0 {
+		t.Error("spec class submitted nothing at 0.5/hour; interarrival draws must not truncate")
+	}
+}
+
+// TestSpecVolumeMatchesLegacy: the paper spec redistributes the same
+// DayJobsPerHour the legacy generator offers, so week-scale submission
+// totals must agree to well within 2x.
+func TestSpecVolumeMatchesLegacy(t *testing.T) {
+	legacy := newRig(t)
+	legacy.gen.cfg.OvernightJobs = 0
+	legacy.gen.Start()
+	legacy.sim.RunUntil(7 * simclock.Day)
+
+	spec := newRig(t)
+	spec.gen.cfg.OvernightJobs = 0
+	s := PaperSpec()
+	spec.gen.SetSpec(&s)
+	spec.gen.Start()
+	spec.sim.RunUntil(7 * simclock.Day)
+
+	l, p := legacy.gen.JobsSubmitted, spec.gen.JobsSubmitted
+	if l == 0 || p == 0 {
+		t.Fatalf("no jobs: legacy %d spec %d", l, p)
+	}
+	if ratio := float64(p) / float64(l); ratio < 0.5 || ratio > 2 {
+		t.Errorf("spec volume %d vs legacy %d (ratio %.2f), want within 2x", p, l, ratio)
+	}
+}
+
+// TestSpecDeterminism: two rigs with the same seed and spec replay the
+// same submission count — per-class forked streams keep the engine on
+// the campaign's byte-identity contract.
+func TestSpecDeterminism(t *testing.T) {
+	run := func() int {
+		r := newRig(t)
+		s := FlashCrowdSpec()
+		r.gen.SetSpec(&s)
+		r.gen.Start()
+		r.sim.RunUntil(3 * simclock.Day)
+		return r.gen.JobsSubmitted
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, same spec, different submissions: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("spec-driven generator submitted nothing")
+	}
+}
+
+// TestFlashCrowdBoostsWindow: inside the morning-rush window the
+// flash-crowd spec must submit measurably more than the plain paper
+// spec, and nothing outside the window may differ in rate law.
+func TestFlashCrowdBoostsWindow(t *testing.T) {
+	inWindow := func(spec Spec) int {
+		r := newRig(t)
+		r.gen.cfg.OvernightJobs = 0
+		r.gen.SetSpec(&spec)
+		r.gen.Start()
+		r.sim.RunUntil(simclock.Day + 9*simclock.Hour + 30*simclock.Minute)
+		before := r.gen.JobsSubmitted
+		r.sim.RunUntil(simclock.Day + 13*simclock.Hour + 30*simclock.Minute)
+		return r.gen.JobsSubmitted - before
+	}
+	plain := inWindow(PaperSpec())
+	surged := inWindow(FlashCrowdSpec())
+	if surged <= plain {
+		t.Errorf("flash crowd window submitted %d jobs vs %d plain; surge had no effect", surged, plain)
+	}
+}
+
+// TestFlashCrowdBoostsAmbience: the crowd also hammers the front-end
+// GUIs — ambience at the surge peak beats the plain spec's.
+func TestFlashCrowdBoostsAmbience(t *testing.T) {
+	ambience := func(spec Spec) float64 {
+		r := newRig(t)
+		r.gen.cfg.DayJobsPerHour = 0
+		r.gen.cfg.OvernightJobs = 0
+		r.gen.SetSpec(&spec)
+		r.gen.Start()
+		r.sim.RunUntil(simclock.Day + 11*simclock.Hour)
+		return r.dc.Host("feA").CPUUtilisation()
+	}
+	plain := ambience(PaperSpec())
+	surged := ambience(FlashCrowdSpec())
+	if surged <= plain {
+		t.Errorf("flash crowd ambience %v vs plain %v; surge had no effect", surged, plain)
+	}
+}
+
+// TestSpecSurvivesReset: like the domains, the installed spec derives
+// from the topology, so Reset keeps it and a restarted generator keeps
+// running its classes.
+func TestSpecSurvivesReset(t *testing.T) {
+	r := newRig(t)
+	s := PaperSpec()
+	r.gen.SetSpec(&s)
+	r.gen.Start()
+	r.sim.RunUntil(simclock.Day)
+	r.gen.Stop()
+	r.gen.Reset(r.sim.Rand())
+	if r.gen.Spec() == nil {
+		t.Fatal("Reset dropped the workload spec")
+	}
+	before := r.gen.JobsSubmitted
+	if before != 0 {
+		t.Fatalf("Reset left JobsSubmitted at %d", before)
+	}
+	r.gen.Start()
+	r.sim.RunUntil(2 * simclock.Day)
+	if r.gen.JobsSubmitted == 0 {
+		t.Error("restarted spec generator submitted nothing")
+	}
+}

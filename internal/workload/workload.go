@@ -105,9 +105,29 @@ type Generator struct {
 	// entirely, as if the pool were empty.
 	noTargets bool
 
+	// Spec state (nil = legacy hourly generator). Installed once from
+	// the topology/options; Reset keeps it, like the domains.
+	spec    *Spec
+	classes []*classState
+
+	// feedApplied tracks the feed disk activity currently applied per
+	// transaction host, so refreshFeed can re-apply load a crash wiped
+	// and track surge windows by delta. Only the spec/domain paths use
+	// it; the legacy path keeps its one-shot applyFeedLoad.
+	feedApplied map[string]float64
+
 	// Counters for reports.
 	JobsSubmitted int
 	tickers       []*simclock.Ticker
+}
+
+// classState is one arrival class's live scheduling state: its spec, a
+// dedicated stream fork (so class draws interleave identically at any
+// worker or shard count), and the pending arrival event.
+type classState struct {
+	spec ClassSpec
+	rng  *simclock.Rand
+	ev   *simclock.Event
 }
 
 // New builds a generator over the datacentre. dbNames are the database
@@ -152,6 +172,20 @@ func (g *Generator) SetDomains(tierOf map[string]string, tiers map[string]TierLo
 	}
 	g.noTargets = len(g.dbNames) > 0 && total <= 0
 }
+
+// SetSpec installs a validated workload spec: batch submissions switch
+// from the legacy hourly truncating ticker to per-class interarrival
+// chains, and surge scenarios modulate arrivals, ambience and feed
+// load. Call it before Start; like the domains, the spec survives
+// Reset, since it derives from the topology/options, which site reuse
+// cannot change. Passing nil keeps the legacy generator, byte-identical
+// to the pre-spec engine.
+func (g *Generator) SetSpec(s *Spec) {
+	g.spec = s
+}
+
+// Spec returns the installed workload spec (nil = legacy generator).
+func (g *Generator) Spec() *Spec { return g.spec }
 
 // targetHost resolves an LSF target's host name through the directory
 // (falling back to the service name, which then maps to the default
@@ -200,26 +234,54 @@ func (g *Generator) Reset(parent *simclock.Rand) {
 	g.jobSeq = 0
 	g.JobsSubmitted = 0
 	g.tickers = nil
+	g.classes = nil
+	g.feedApplied = nil
 }
 
 // Start begins offering load: interactive ambience refreshed every 15
-// minutes, day batch submissions hourly-ish, the overnight drop at 22:00,
-// and constant feed load.
+// minutes, day batch submissions hourly-ish (or per-class interarrival
+// chains when a spec is installed), the overnight drop at 22:00, and
+// feed load — applied once on the legacy path, refreshed with the
+// interactive tick on the spec/domain paths so recovered hosts get it
+// back.
 func (g *Generator) Start() {
 	g.tickers = append(g.tickers,
 		g.sim.Every(g.sim.Now(), 15*simclock.Minute, "workload-interactive", g.refreshInteractive))
-	g.tickers = append(g.tickers,
-		g.sim.Every(g.sim.Now()+g.rng.UniformDuration(0, simclock.Hour), simclock.Hour, "workload-dayjobs", g.submitDayJobs))
+	if g.spec == nil {
+		g.tickers = append(g.tickers,
+			g.sim.Every(g.sim.Now()+g.rng.UniformDuration(0, simclock.Hour), simclock.Hour, "workload-dayjobs", g.submitDayJobs))
+	} else {
+		g.startClasses()
+	}
 	g.tickers = append(g.tickers,
 		g.sim.Every(g.nextTenPM(), simclock.Day, "workload-overnight", g.submitOvernightBatch))
-	g.applyFeedLoad()
+	if g.spec == nil && g.tiers == nil {
+		// Legacy path: one-shot feed application, byte-identical to the
+		// pre-spec engine (a host that crashes and recovers stays
+		// feed-less — the pinned historical behaviour).
+		g.applyFeedLoad()
+	} else {
+		// Spec/domain paths: refreshFeed applies the load at the first
+		// interactive tick (same sim time as Start) and keeps it
+		// applied across crash/recovery cycles.
+		g.feedApplied = map[string]float64{}
+	}
 }
 
-// Stop ceases load generation.
+// Stop ceases load generation. It clears the ticker slice and pending
+// class arrivals so a Stop → Start cycle within one trial registers
+// each load source exactly once instead of double-appending.
 func (g *Generator) Stop() {
 	for _, t := range g.tickers {
 		t.Stop()
 	}
+	g.tickers = nil
+	for _, cs := range g.classes {
+		if cs.ev != nil {
+			cs.ev.Cancel()
+		}
+	}
+	g.classes = nil
 }
 
 func (g *Generator) nextTenPM() simclock.Time {
@@ -240,6 +302,14 @@ func (g *Generator) nextTenPM() simclock.Time {
 // by 1.0 are bit-exact) to the single global rule.
 func (g *Generator) refreshInteractive(now simclock.Time) {
 	shape := DiurnalShape(now)
+	// Surge multipliers: exactly 1 with no spec or outside every surge
+	// window, so the trailing multiplications below are bit-exact no-ops
+	// on unspecified topologies.
+	amb, feed := 1.0, 1.0
+	if g.spec != nil {
+		amb = g.spec.ambienceFactor(now)
+		feed = g.spec.feedFactor(now)
+	}
 	fe := g.dc.ByRole(cluster.RoleFrontEnd)
 	db := g.dc.ByRole(cluster.RoleDatabase)
 	tx := g.dc.ByRole(cluster.RoleTransaction)
@@ -260,29 +330,38 @@ func (g *Generator) refreshInteractive(now simclock.Time) {
 			if sumShare > 0 {
 				perHost = float64(g.cfg.PeakAnalysts) * tl.Share / sumShare
 			}
-			h.SetAmbientLoad(shaped(shape, tl.Amp) * perHost * 0.02 * g.rng.Jitterf(0.2))
+			h.SetAmbientLoad(shaped(shape, tl.Amp) * perHost * 0.02 * g.rng.Jitterf(0.2) * amb)
 		}
 	}
 	for _, h := range db {
 		if h.Up() {
 			tl := g.loadFor(h.Name)
 			// Ad-hoc queries: a modest share of each database box.
-			h.SetAmbientLoad(shaped(shape, tl.Amp) * 0.25 * float64(h.Model.CPUs) * tl.Share * g.rng.Jitterf(0.3))
+			h.SetAmbientLoad(shaped(shape, tl.Amp) * 0.25 * float64(h.Model.CPUs) * tl.Share * g.rng.Jitterf(0.3) * amb)
 		}
 	}
 	for _, h := range tx {
 		if h.Up() {
 			tl := g.loadFor(h.Name)
-			h.SetAmbientLoad(shaped(shape, tl.Amp) * 0.3 * float64(h.Model.CPUs) * tl.Feed * g.rng.Jitterf(0.25))
+			h.SetAmbientLoad(shaped(shape, tl.Amp) * 0.3 * float64(h.Model.CPUs) * tl.Feed * g.rng.Jitterf(0.25) * feed)
 		}
+	}
+	if g.feedApplied != nil {
+		g.refreshFeed(now, feed)
 	}
 }
 
-// submitDayJobs trickles batch work during the day.
+// submitDayJobs trickles batch work during the day — the legacy hourly
+// path, used only when no workload spec is installed.
 func (g *Generator) submitDayJobs(now simclock.Time) {
 	if g.lsfc == nil || len(g.dbNames) == 0 || g.noTargets {
 		return
 	}
+	// Deliberate historical truncation: int() floors the expected count,
+	// so rates below ~1 job/hour submit zero jobs forever. The goldens
+	// pin this behaviour byte-for-byte, so it stays verbatim here; spec
+	// arrival classes draw interarrival times instead, which makes
+	// arbitrarily low rates submit at their true long-run rate.
 	n := int(g.cfg.DayJobsPerHour * DiurnalShape(now) * g.rng.Jitterf(0.3))
 	for i := 0; i < n; i++ {
 		g.submitOne(now, false)
@@ -331,11 +410,112 @@ func (g *Generator) submitOne(now simclock.Time, overnight bool) {
 }
 
 // applyFeedLoad puts steady demand on transaction hosts for market feeds,
-// scaled by each host's feed-weight domain.
+// scaled by each host's feed-weight domain. Legacy one-shot path: a host
+// that crashes after this never gets its feed load back (refreshFeed is
+// the fixed path, used whenever a spec or domains are installed).
 func (g *Generator) applyFeedLoad() {
 	for _, h := range g.dc.ByRole(cluster.RoleTransaction) {
 		if h.Up() {
 			h.AddDiskActivity(0.2 * g.loadFor(h.Name).Feed)
 		}
 	}
+}
+
+// refreshFeed reconciles each transaction host's feed disk activity with
+// the load the feeds currently offer (domain feed weight × surge
+// factor), applying only the delta. Crash() zeroes a host's disk
+// activity, so a host seen down — or seen up with an uptime shorter
+// than the refresh interval, meaning it crashed and recovered entirely
+// between two ticks — has lost whatever was applied and gets the full
+// amount again. Ticks are 15 minutes apart, so Uptime() < one interval
+// is an exact reboot-since-last-tick test.
+func (g *Generator) refreshFeed(now simclock.Time, surge float64) {
+	for _, h := range g.dc.ByRole(cluster.RoleTransaction) {
+		if !h.Up() {
+			g.feedApplied[h.Name] = 0
+			continue
+		}
+		applied := g.feedApplied[h.Name]
+		if h.Uptime() < 15*simclock.Minute {
+			applied = 0
+		}
+		want := 0.2 * g.loadFor(h.Name).Feed * surge
+		if want != applied {
+			h.AddDiskActivity(want - applied)
+			g.feedApplied[h.Name] = want
+		}
+	}
+}
+
+// --- Spec-driven arrival classes ---
+
+// maxClassDelay caps how far ahead a class arrival is scheduled. Rates
+// are frozen at draw time, so an overnight draw could otherwise sleep
+// through the whole morning ramp; instead the chain wakes after at most
+// two hours, discards the stale draw, and redraws at the current rate.
+// (For Poisson arrivals the discipline is exact — the exponential is
+// memoryless; for Gamma/Weibull it is the spec engine's documented
+// approximation.)
+const maxClassDelay = 2 * simclock.Hour
+
+// idleClassRecheck is how often a class whose current rate is zero
+// (amplitude-clamped shape) looks again, without consuming a draw.
+const idleClassRecheck = 15 * simclock.Minute
+
+// startClasses forks one stream per arrival class — labelled by class
+// position, so identical specs replay identically — and schedules each
+// class's first arrival.
+func (g *Generator) startClasses() {
+	g.classes = make([]*classState, len(g.spec.Classes))
+	for i, c := range g.spec.Classes {
+		cs := &classState{spec: c, rng: g.rng.Fork(0xc1a5 + uint64(i))}
+		g.classes[i] = cs
+		g.scheduleClass(cs)
+	}
+}
+
+// classRate is the class's current submission rate in jobs/hour: its
+// share of the configured rate, under its own diurnal amplitude, times
+// any surge windows covering it.
+func (g *Generator) classRate(cs *classState, now simclock.Time) float64 {
+	return g.cfg.DayJobsPerHour * cs.spec.Share *
+		shaped(DiurnalShape(now), cs.spec.amp()) *
+		g.spec.classFactor(cs.spec.Name, now)
+}
+
+// scheduleClass draws the class's next interarrival at the current rate
+// and schedules the arrival, re-evaluating instead of submitting when
+// the draw lands beyond maxClassDelay.
+func (g *Generator) scheduleClass(cs *classState) {
+	now := g.sim.Now()
+	rate := g.classRate(cs, now)
+	if rate <= 0 {
+		cs.ev = g.sim.After(idleClassRecheck, "workload-class-idle:"+cs.spec.Name,
+			func(simclock.Time) { g.scheduleClass(cs) })
+		return
+	}
+	mean := simclock.Time(float64(simclock.Hour) / rate)
+	delay := interarrival(cs.rng, cs.spec, mean)
+	if delay > maxClassDelay {
+		cs.ev = g.sim.After(maxClassDelay, "workload-class-redraw:"+cs.spec.Name,
+			func(simclock.Time) { g.scheduleClass(cs) })
+		return
+	}
+	cs.ev = g.sim.After(delay, "workload-class:"+cs.spec.Name,
+		func(t simclock.Time) { g.classArrive(cs, t) })
+}
+
+// classArrive submits the class's batch work — one job, plus Burst more
+// when the class's burst modifier fires — and chains the next arrival.
+func (g *Generator) classArrive(cs *classState, now simclock.Time) {
+	if g.lsfc != nil && len(g.dbNames) > 0 && !g.noTargets {
+		n := 1
+		if cs.spec.Burst > 0 && cs.rng.Float64() < cs.spec.BurstProb {
+			n += cs.spec.Burst
+		}
+		for i := 0; i < n; i++ {
+			g.submitOne(now, false)
+		}
+	}
+	g.scheduleClass(cs)
 }

@@ -62,6 +62,19 @@ type Options struct {
 	// numbers are exactly what the generator offers. nil = DefaultConfig
 	// scaled to the site's LSF-target pool.
 	Workload *workload.Config
+	// WorkloadSpec overrides the topology's statistical workload spec
+	// (Topology.Workload): batch submissions arrive through the spec's
+	// per-class interarrival processes and surge scenarios instead of
+	// the legacy hourly ticker. It wins over the topology's named spec;
+	// nil resolves the topology name (empty name = legacy generator).
+	WorkloadSpec *workload.Spec
+	// TierLoadScale multiplies the resolved per-tier workload-domain
+	// weights — analyst share, batch intensity and feed weight at once,
+	// leaving the diurnal amplitude alone — by tier name: the campaign's
+	// per-tier load-intensity axis (`-tierload`), the workload twin of
+	// TierFaultScale. It composes with (multiplies into) topology specs
+	// and TierWorkloads overrides.
+	TierLoadScale map[string]float64
 	// TierWorkloads overrides per-tier workload specs by tier name. An
 	// entry replaces the topology's spec for that tier wholesale (it does
 	// not merge); tiers without an entry keep their topology spec.
@@ -152,6 +165,25 @@ func WithNoFaults() Option { return func(o *Options) { o.Faults = []faultinject.
 // WithWorkload overrides the offered load verbatim (see Options.Workload:
 // no site-size scaling, no OvernightJobs floor).
 func WithWorkload(cfg workload.Config) Option { return func(o *Options) { o.Workload = &cfg } }
+
+// WithWorkloadSpec installs a statistical workload spec (see
+// Options.WorkloadSpec), overriding any spec the topology names. The
+// spec is validated by NewSite exactly as a registered one would be.
+func WithWorkloadSpec(s workload.Spec) Option {
+	return func(o *Options) { o.WorkloadSpec = &s }
+}
+
+// WithTierLoadScale multiplies one tier's resolved workload-domain
+// weights (see Options.TierLoadScale) — the per-tier load-intensity
+// knob campaigns sweep as a matrix axis.
+func WithTierLoadScale(tier string, scale float64) Option {
+	return func(o *Options) {
+		if o.TierLoadScale == nil {
+			o.TierLoadScale = map[string]float64{}
+		}
+		o.TierLoadScale[tier] = scale
+	}
+}
 
 // WithTierWorkload replaces one tier's workload spec (see
 // Options.TierWorkloads). The spec is validated by NewSite exactly as a

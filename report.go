@@ -235,6 +235,12 @@ func GroupLabel(g campaign.Group) string {
 	if g.TierFaults != "" {
 		parts = append(parts, "tierfaults="+g.TierFaults)
 	}
+	if g.Workload != "" {
+		parts = append(parts, "workload="+g.Workload)
+	}
+	if g.TierLoad != "" {
+		parts = append(parts, "tierload="+g.TierLoad)
+	}
 	if len(parts) == 0 {
 		return "all"
 	}

@@ -1,9 +1,13 @@
 // Command campaigngolden regenerates the checked-in campaign-JSON golden
 // files (testdata/campaign-golden-<site>-<mode>.json) that
-// TestCampaignGoldenNoTierSpecs compares against. The goldens pin the
-// campaign output of topologies *without* per-tier workload/fault specs,
-// so refactors of the workload generator or fault campaign cannot drift
-// the reproduced numbers for unspecified topologies.
+// TestCampaignGoldenNoTierSpecs compares against, plus the flash-crowd
+// workload golden (testdata/campaign-golden-small-flashcrowd.json) that
+// TestCampaignGoldenFlashcrowd compares against. The no-spec goldens pin
+// the campaign output of topologies *without* per-tier workload/fault
+// specs, so refactors of the workload generator or fault campaign cannot
+// drift the reproduced numbers for unspecified topologies; the
+// flash-crowd golden pins the statistical arrival engine over the
+// checked-in testdata/workload-flashcrowd.json spec.
 //
 // Only regenerate deliberately — after a change that is *supposed* to
 // move the default numbers — and say so in the commit message:
@@ -47,6 +51,37 @@ func main() {
 			fmt.Printf("wrote %s (%d bytes)\n", path, len(js)+1)
 		}
 	}
+
+	// The flash-crowd workload golden: the checked-in spec file driving
+	// the statistical arrival engine on the small site.
+	wls, err := experiments.ResolveWorkloads([]string{"testdata/workload-flashcrowd.json"})
+	if err != nil {
+		fatal(err)
+	}
+	m := campaign.Matrix{
+		Seeds:     campaign.Seeds(7, 2),
+		Scenarios: []string{"year"},
+		Sites:     []string{"small"},
+		Modes:     []string{"manual"},
+		Days:      1,
+		Workloads: wls,
+	}
+	res, err := campaign.Run("golden", m, 1, experiments.RunTrial)
+	if err != nil {
+		fatal(err)
+	}
+	if errs := res.Errs(); len(errs) > 0 {
+		fatal(fmt.Errorf("small-flashcrowd: %d failed trials; first: %s", len(errs), errs[0].Err))
+	}
+	js, err := res.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	const path = "testdata/campaign-golden-small-flashcrowd.json"
+	if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(js)+1)
 }
 
 func fatal(err error) {

@@ -40,6 +40,14 @@ type Topology struct {
 	// changes nothing: sites without a spec schedule no probes and stay
 	// byte-identical to the pre-probe engine.
 	Probes *ProbeSpec `json:"probes,omitempty"`
+	// Workload optionally names a registered statistical workload spec
+	// (workload.RegisterSpec / `-workload file.json`): batch submissions
+	// then arrive through per-class interarrival processes with surge
+	// scenarios instead of the legacy hourly ticker. The name resolves
+	// when the site is built — not at Validate — so a topology may name
+	// a spec loaded from a file after the topology itself. Empty (every
+	// pre-existing topology) keeps the legacy generator byte-identically.
+	Workload string `json:"workload,omitempty"`
 }
 
 // DefaultProbeSlots is the per-tier batch count a ProbeSpec with Slots 0
