@@ -55,10 +55,13 @@ type Site struct {
 	started    bool
 	deployErr  error // sticky first-Run deployment failure
 
-	cron    *simclock.Wheel // coalesced agent cron (nil under ReferenceScheduler)
-	pool    *simclock.Pool  // intra-trial shard workers (nil: single-goroutine)
-	ranTo   simclock.Time   // furthest simulated time a Run call has reached
-	running bool            // inside Run: guards re-entrant Run/Reset
+	cron *simclock.Wheel // coalesced agent cron (nil under ReferenceScheduler)
+	pool *simclock.Pool  // intra-trial shard workers (nil: single-goroutine)
+	// agentSched batches agent crons into prepared observe/apply walks when
+	// Options.AgentSlots > 0 (nil otherwise; see agent.Scheduler).
+	agentSched *agent.Scheduler
+	ranTo      simclock.Time // furthest simulated time a Run call has reached
+	running    bool          // inside Run: guards re-entrant Run/Reset
 }
 
 // MaxShards bounds Options.Shards: more shards than this is certainly a
@@ -105,6 +108,9 @@ func newSite(topo Topology, opts Options) (*Site, error) {
 	}
 	if opts.TraceLevel < 0 || opts.TraceLevel > trace.MaxLevel {
 		return nil, fmt.Errorf("topology %q: options: trace level %d outside [0, %d]", topo.Name, opts.TraceLevel, trace.MaxLevel)
+	}
+	if opts.AgentSlots < 0 {
+		return nil, fmt.Errorf("topology %q: options: agent slot count %d is negative", topo.Name, opts.AgentSlots)
 	}
 	if opts.Counterfactual != nil && opts.TraceLevel <= 0 {
 		return nil, fmt.Errorf("topology %q: options: a counterfactual needs tracing enabled (trace level >= 1) to anchor its decision event", topo.Name)
@@ -551,6 +557,9 @@ func (s *Site) Run(until simclock.Time) error {
 			}
 		}
 		if s.deployErr == nil {
+			if s.agentSched != nil {
+				s.agentSched.Start()
+			}
 			if s.Probes != nil {
 				s.Probes.Start()
 			}
@@ -618,6 +627,7 @@ func (s *Site) Reset(seed uint64) error {
 	s.Agents = nil
 	s.Campaign = nil
 	s.cron = nil
+	s.agentSched = nil
 	if s.Probes != nil {
 		s.Probes.Reset()
 	}
@@ -699,7 +709,10 @@ func (s *Site) deployAgents() error {
 // scheduleAgent wires one agent's cron: onto the site's shared coalesced
 // wheel by default, or via a per-agent heap ticker under the
 // ReferenceScheduler option — the seed path the equivalence tests compare
-// the wheel against. Both paths consume the phase draw identically.
+// the wheel against. Both paths consume the phase draw identically. Under
+// AgentSlots the draw instead feeds the batching scheduler, which
+// quantizes it onto the slot grid and registers prepared observe/apply
+// sub-ranges once deployment completes (Site.Run calls Start).
 func (s *Site) scheduleAgent(a *agent.Agent, phase, period simclock.Time) {
 	if s.Opts.ReferenceScheduler {
 		a.Schedule(s.Sim, phase, period)
@@ -707,10 +720,17 @@ func (s *Site) scheduleAgent(a *agent.Agent, phase, period simclock.Time) {
 	}
 	if s.cron == nil {
 		s.cron = simclock.NewWheel(s.Sim)
-		// Agent sweeps mutate shared site state, so their entries stay
-		// plain (serial); attaching the pool makes the wheel shard-aware
-		// for any prepared entries a future subsystem registers here.
+		// Plain per-agent entries stay serial; attaching the pool makes the
+		// wheel shard-aware for the prepared entries the batching scheduler
+		// (and any future subsystem) registers here.
 		s.cron.SetPool(s.pool)
+	}
+	if s.Opts.AgentSlots > 0 {
+		if s.agentSched == nil {
+			s.agentSched = agent.NewScheduler(s.Sim, s.cron, s.Opts.AgentSlots)
+		}
+		s.agentSched.Add(a, phase, period)
+		return
 	}
 	a.ScheduleCoalesced(s.Sim, s.cron, phase, period)
 }

@@ -8,7 +8,8 @@
 //	qossim campaign [-scenario NAME] [-trials N] [-workers W] [-seed N]
 //	                [-days D] [-site LIST] [-cron LIST] [-ablate LIST]
 //	                [-tierfaults CELLS] [-workload LIST] [-tierload CELLS]
-//	                [-trace FILE] [-tracelevel N]
+//	                [-trace FILE] [-tracelevel N] [-agentslots N]
+//	                [-cpuprofile FILE] [-memprofile FILE]
 //	                [-json] [-out FILE] [<name>]
 //	qossim replay -trace FILE [-workers W] [-json] [-out FILE]
 //	              [-counterfactual [TRIAL:]EVENT] [-alt LIST]
@@ -61,6 +62,17 @@
 // with a deterministic tick-boundary merge: pure wall-clock parallelism
 // *inside* a trial (vs -workers *across* trials), byte-identical output
 // at any count.
+// -agentslots N quantizes agent cron wake-ups onto N slots per period and
+// dispatches each slot as one prepared observe/apply batch — the agent
+// work -shards parallelises. Unlike -shards this changes the simulated
+// trajectory (wake-up instants move to the slot grid), so campaign JSON
+// records the value; at any fixed -agentslots the output stays
+// byte-identical across every -shards count.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the campaign's
+// trials; every trial runs under pprof labels naming its cell (campaign,
+// scenario, site, mode, seed), so `go tool pprof -tagfocus` isolates one
+// cell's samples when investigating shard speedups.
 //
 // -trace FILE records every trial's decision trace — fault injections,
 // detections, diagnosis rule firings, repairs, operator pages — to a
@@ -79,6 +91,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
@@ -104,6 +118,7 @@ func main() {
 	trials := flag.Int("trials", 8, "seeds per cell for the campaign-backed scenarios (latency, mttr, ablate)")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = NumCPU)")
 	shards := flag.Int("shards", 0, "intra-trial shard goroutines per site (0/1 = single-goroutine engine; results are identical at any count)")
+	agentSlots := flag.Int("agentslots", 0, "quantize agent crons onto N slots per period and batch each slot (0 = per-agent phases; changes the trajectory, unlike -shards)")
 	tracePath := flag.String("trace", "", "record decision traces to this JSONL file (campaign-backed scenarios only)")
 	traceLevel := flag.Int("tracelevel", 0, "trace detail: 1 decision events, 2 adds diagnosis evidence (0 = 1 when -trace is set)")
 	flag.Usage = func() {
@@ -126,7 +141,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site),
-		Trials: *trials, Workers: *workers, Shards: *shards,
+		Trials: *trials, Workers: *workers, Shards: *shards, AgentSlots: *agentSlots,
 		TracePath: *tracePath, TraceLevel: *traceLevel}
 	out, err := experiments.Run(flag.Arg(0), cfg)
 	// Print whatever rendered before erroring: a campaign with failed
@@ -148,6 +163,9 @@ func runCampaign(args []string) {
 	trials := fs.Int("trials", 16, "seeds per matrix cell")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	shards := fs.Int("shards", 0, "intra-trial shard goroutines per trial (0/1 = single-goroutine engine; campaign JSON is byte-identical at any count)")
+	agentSlots := fs.Int("agentslots", 0, "quantize agent crons onto N slots per period and batch each slot (0 = per-agent phases; changes the trajectory, unlike -shards)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign's trials to this file (trials carry per-cell pprof labels)")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the campaign's trials to this file")
 	days := fs.Int("days", 0, "simulated days per trial (0 = scenario default: 365 for year scenarios, 90 for ablations; ablations cap at 120)")
 	site := fs.String("site", "small", "comma-separated site topologies to sweep: registered names and/or topology JSON files")
 	cron := fs.String("cron", "", "comma-separated cron periods for the ablate-cron axis (e.g. 1m,5m,15m,60m)")
@@ -180,7 +198,7 @@ func runCampaign(args []string) {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Days: *days, Sites: splitList(*site), Shards: *shards,
-		TracePath: *tracePath, TraceLevel: *traceLevel}
+		AgentSlots: *agentSlots, TracePath: *tracePath, TraceLevel: *traceLevel}
 	if *tierFaults != "" {
 		// Semicolons separate axis cells so one cell can itself be a
 		// comma list; a leading/lone ';' contributes the unscaled default
@@ -228,11 +246,18 @@ func runCampaign(args []string) {
 		}
 	}
 
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qossim campaign:", err)
+		os.Exit(1)
+	}
+
 	var results []*campaign.Result
 	failed := false
 	for _, name := range names {
 		res, err := experiments.Campaign(name, cfg, *trials, *workers)
 		if err != nil {
+			stopProfiles()
 			fmt.Fprintln(os.Stderr, "qossim campaign:", err)
 			os.Exit(1)
 		}
@@ -242,6 +267,7 @@ func runCampaign(args []string) {
 		failed = failed || len(res.Errs()) > 0
 		results = append(results, res)
 	}
+	stopProfiles()
 
 	js, err := marshalResults(results)
 	if err != nil {
@@ -331,6 +357,54 @@ func runReplay(args []string) {
 	} else {
 		fmt.Print(qoscluster.FormatCampaign(res))
 	}
+}
+
+// startProfiles arms the requested pprof outputs around the campaign's
+// trials and returns the function that flushes them: StopCPUProfile for
+// the CPU profile, and a post-GC heap snapshot for the memory profile.
+// Both paths are no-ops when their flag is empty; the returned stop is
+// idempotent so error paths can flush early without double-closing.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "qossim campaign: -cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qossim campaign: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialise the post-campaign live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qossim campaign: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "qossim campaign: -memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 // traceableScenario reports whether a top-level scenario runs as a single

@@ -71,6 +71,9 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 	if cfg.Shards < 0 || cfg.Shards > qoscluster.MaxShards {
 		return campaign.Matrix{}, fmt.Errorf("-shards %d outside [0, %d]", cfg.Shards, qoscluster.MaxShards)
 	}
+	if cfg.AgentSlots < 0 {
+		return campaign.Matrix{}, fmt.Errorf("-agentslots %d is negative", cfg.AgentSlots)
+	}
 	traceLevel := cfg.TraceLevel
 	if cfg.TracePath != "" && traceLevel == 0 {
 		traceLevel = trace.LevelDecisions // -trace alone implies level 1
@@ -81,6 +84,7 @@ func CampaignMatrix(name string, cfg Config, trials int) (campaign.Matrix, error
 	m := campaign.Matrix{
 		Seeds:      campaign.Seeds(cfg.Seed, trials),
 		Days:       cfg.days(),
+		AgentSlots: cfg.AgentSlots,
 		Shards:     cfg.Shards,
 		TraceLevel: traceLevel,
 	}
@@ -356,6 +360,7 @@ func trialOptions(t campaign.Trial) (qoscluster.Options, error) {
 		NoBatchRescue:     t.NoBatchRescue,
 		DisablePrivateNet: t.DisablePrivateNet,
 		BaselineMonitors:  t.BaselineMonitors,
+		AgentSlots:        t.AgentSlots,
 		Shards:            t.Shards,
 		TraceLevel:        t.TraceLevel,
 	}

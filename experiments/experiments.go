@@ -53,6 +53,11 @@ type Config struct {
 	// trial (see qoscluster.WithShards); 0 or 1 keep the
 	// single-goroutine engine. Results are byte-identical at any value.
 	Shards int
+	// AgentSlots quantizes agent cron dispatch onto this many slots per
+	// period and batches each slot (see qoscluster.WithAgentSlots). A
+	// model knob: slotted trajectories differ from unslotted ones, and
+	// campaigns record the value in their JSON. 0 keeps per-agent phases.
+	AgentSlots int
 	// TracePath, when set, records every trial's decision trace and writes
 	// the campaign's trace file (JSONL) there. Implies TraceLevel 1 when
 	// TraceLevel is unset. Tracing is an execution knob: campaign results
@@ -295,7 +300,8 @@ func yearReports(cfg Config, mode qoscluster.Mode) (string, error) {
 	}
 	var b strings.Builder
 	for i, name := range sites {
-		site, err := buildNamedSite(name, cfg.Seed, qoscluster.WithMode(mode), qoscluster.WithShards(cfg.Shards))
+		site, err := buildNamedSite(name, cfg.Seed, qoscluster.WithMode(mode), qoscluster.WithShards(cfg.Shards),
+			qoscluster.WithAgentSlots(cfg.AgentSlots))
 		if err != nil {
 			return b.String(), err
 		}
@@ -344,7 +350,8 @@ func Fig2(cfg Config) (string, error) {
 }
 
 func fig2Site(b *strings.Builder, cfg Config, siteName string) error {
-	before, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeManual), qoscluster.WithShards(cfg.Shards))
+	before, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeManual), qoscluster.WithShards(cfg.Shards),
+		qoscluster.WithAgentSlots(cfg.AgentSlots))
 	if err != nil {
 		return err
 	}
@@ -353,7 +360,8 @@ func fig2Site(b *strings.Builder, cfg Config, siteName string) error {
 	}
 	rb := before.Report()
 
-	after, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeAgents), qoscluster.WithShards(cfg.Shards))
+	after, err := buildNamedSite(siteName, cfg.Seed, qoscluster.WithMode(qoscluster.ModeAgents), qoscluster.WithShards(cfg.Shards),
+		qoscluster.WithAgentSlots(cfg.AgentSlots))
 	if err != nil {
 		return err
 	}

@@ -144,6 +144,14 @@ type Parts struct {
 	Monitor  func(rc *RunContext) []Finding
 	Diagnose func(rc *RunContext, fs []Finding) []Diagnosis
 	Heal     func(rc *RunContext, d Diagnosis) HealResult
+	// MonitorMutates declares that Monitor writes state (filesystem, logs,
+	// notifications, reports) instead of only observing it. The sharded
+	// scheduler runs such monitors in the serial apply phase; pure monitors
+	// (the default) run concurrently in the observe phase. Misdeclaring a
+	// mutating monitor as pure is a data race under -shards; the observe
+	// RunContext carries nil Sim/Notify/Report/Trace hooks so most
+	// accidental mutation attempts fail loudly.
+	MonitorMutates bool
 }
 
 // Enabled toggles each of the five parts; the paper allows parts to be
@@ -229,6 +237,11 @@ type Agent struct {
 	exitFn   func(simclock.Time)
 	exitPID  int
 	flagsOK  bool
+
+	// Prepared-protocol state: what the concurrent observe phase saw, consumed
+	// by the serial apply phase at the tick barrier (see Observe/Apply).
+	obsState    obsState
+	obsFindings []Finding
 }
 
 // InstallDir is where every intelliagent lives, per the paper ("always in

@@ -28,6 +28,86 @@ func (a *Agent) Run(sim *simclock.Sim) {
 		a.counters.SkippedLock++
 		return
 	}
+	a.run(sim, nil, false)
+}
+
+// obsState records what the concurrent observe phase saw, pending the
+// serial apply phase.
+type obsState uint8
+
+const (
+	obsIdle     obsState = iota // no observation pending
+	obsDown                     // host was down; the run is a no-op
+	obsLocked                   // lock file present; count SkippedLock and exit
+	obsDeferred                 // run, but the monitor must execute in the apply phase
+	obsRun                      // run with the findings gathered during observe
+)
+
+// Observe is the read-only half of the prepared cron protocol: it performs
+// the host-up and lock checks and — for pure monitor parts — the monitoring
+// itself, buffering the findings. It must not touch simulated state: no RNG,
+// no filesystem writes, no notifications, no trace events, no counters. The
+// sharded scheduler calls Observe concurrently across agents of one cron
+// batch; everything it learns is replayed by Apply at the tick barrier.
+func (a *Agent) Observe(now simclock.Time) {
+	a.obsFindings = nil
+	switch {
+	case !a.host.Up():
+		a.obsState = obsDown
+	case a.host.FS.Exists(a.lockPath):
+		a.obsState = obsLocked
+	case !a.enabled.Monitor || a.parts.MonitorMutates:
+		// Disabled or mutating monitors run (if at all) inside Apply.
+		a.obsState = obsDeferred
+	default:
+		a.obsState = obsRun
+		// Observation context: world-reading handles only. The mutating
+		// hooks (Sim, Notify, Report, Detected, Repaired, Trace, log) stay
+		// nil so a monitor that was wrongly declared pure trips over them.
+		rc := &a.rc
+		*rc = RunContext{
+			Now:      now,
+			Host:     a.host,
+			Services: a.services,
+			FS:       a.host.FS,
+			agent:    a,
+		}
+		a.obsFindings = a.parts.Monitor(rc)
+	}
+}
+
+// Apply is the serial half of the prepared cron protocol: it consumes the
+// state Observe buffered and performs the full mutating lifecycle — process
+// spawn, lock and flag writes, diagnose/heal with their RNG draws, trace
+// events, counters and escalation. Agents earlier in the same tick's apply
+// order may have changed the world since Observe ran (taken a lock, rebooted
+// a host), so the host-up and lock checks are revalidated here; the serial
+// path performs those same checks at the same instant, keeping the two
+// dispatch modes on one trajectory.
+func (a *Agent) Apply(sim *simclock.Sim, now simclock.Time) {
+	state, findings := a.obsState, a.obsFindings
+	a.obsState, a.obsFindings = obsIdle, nil
+	switch state {
+	case obsIdle, obsDown:
+		return
+	case obsLocked:
+		a.counters.SkippedLock++
+		return
+	}
+	if !a.host.Up() {
+		return
+	}
+	if a.host.FS.Exists(a.lockPath) {
+		a.counters.SkippedLock++
+		return
+	}
+	a.run(sim, findings, state == obsRun)
+}
+
+// run is the mutating body shared by the serial path (Run) and the prepared
+// path (Apply). When haveObserved is set, observed carries the findings a
+// prior Observe gathered and the monitor part is not invoked again.
+func (a *Agent) run(sim *simclock.Sim, observed []Finding, haveObserved bool) {
 	a.counters.Runs++
 
 	// The agent exists as a process only while awake: spawn, then reap at
@@ -82,7 +162,10 @@ func (a *Agent) Run(sim *simclock.Sim) {
 		a.writeFlag("disabled", "")
 		return
 	}
-	findings := a.parts.Monitor(rc)
+	findings := observed
+	if !haveObserved {
+		findings = a.parts.Monitor(rc)
+	}
 	a.counters.Findings += len(findings)
 
 	if len(findings) == 0 {
@@ -239,16 +322,28 @@ func (a *Agent) HasFlag(status string) bool {
 // LogLines returns the agent's activity log.
 func (a *Agent) LogLines() []string { return a.log.Lines() }
 
-// sanitize makes an aspect safe for a file name.
+// sanitize makes an aspect safe for a file name. Nearly every aspect that
+// reaches a flag write is already clean, so a byte scan decides first and the
+// allocating strings.Map rewrite runs only when a byte actually needs
+// replacing (any byte outside [a-zA-Z0-9_-], including UTF-8 continuation
+// bytes, fails the scan).
 func sanitize(s string) string {
-	return strings.Map(func(r rune) rune {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
-			return r
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
 		default:
-			return '-'
+			return strings.Map(func(r rune) rune {
+				switch {
+				case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+					return r
+				default:
+					return '-'
+				}
+			}, s)
 		}
-	}, s)
+	}
+	return s
 }
 
 // Schedule wires the agent to simulated cron: first run phase after now,

@@ -41,6 +41,9 @@ func NewDatabaseAgent(cfg agent.Config, db *svc.Service, b *diagnose.Baseline) (
 	cfg.Name = "database-" + db.Spec.Name
 	cfg.Category = agent.CatPerformance
 	cfg.Parts = agent.Parts{
+		// Measurement logging appends to a circular log and may notify, so
+		// this monitor runs in the serial apply phase under sharded dispatch.
+		MonitorMutates: true,
 		Monitor: func(rc *agent.RunContext) []agent.Finding {
 			if log == nil {
 				log, _ = fsim.NewCircLog(host.FS, dir+"/db-"+db.Spec.Name+".log", 1000)

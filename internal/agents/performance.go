@@ -57,6 +57,9 @@ func NewPerformanceAgent(cfg agent.Config, pc PerfConfig) (*agent.Agent, error) 
 	admin := cfg.AdminEmail
 
 	cfg.Parts = agent.Parts{
+		// Measurement logging appends to circular logs and may notify, so
+		// this monitor runs in the serial apply phase under sharded dispatch.
+		MonitorMutates: true,
 		Monitor: func(rc *agent.RunContext) []agent.Finding {
 			vm := host.VMStat()
 			io := host.IOStat()

@@ -15,10 +15,13 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -59,6 +62,12 @@ type Trial struct {
 	// twin of TierFaults: "web=2,db=0.5" multiplies the named tiers'
 	// resolved workload-domain weights. "" means unscaled.
 	TierLoad string `json:"tier_load,omitempty"`
+	// AgentSlots is the agent cron dispatch slot count, copied from
+	// Matrix.AgentSlots. Unlike Shards it is a model knob: quantizing
+	// agent wake-ups onto the slot grid changes the simulated trajectory,
+	// so it belongs in the canonical JSON. 0 (omitted) keeps the
+	// continuous per-agent phases.
+	AgentSlots int `json:"agent_slots,omitempty"`
 	// Shards is the intra-trial parallelism degree, copied from
 	// Matrix.Shards. It is an execution knob, not an axis coordinate:
 	// results are byte-identical at any shard count, so it is excluded
@@ -97,6 +106,9 @@ type Matrix struct {
 	// TierLoads sweeps per-tier load-intensity specs (see
 	// Trial.TierLoad).
 	TierLoads []string `json:"tier_loads,omitempty"`
+	// AgentSlots is stamped onto every trial (see Trial.AgentSlots). Not
+	// an axis here, but a model knob recorded in the JSON.
+	AgentSlots int `json:"agent_slots,omitempty"`
 	// Shards is stamped onto every trial (see Trial.Shards). Not an
 	// axis: like the worker count it must not change any result, so
 	// sweeping it would only measure wall-clock.
@@ -164,7 +176,8 @@ func (m Matrix) Trials() []Trial {
 															NoBatchRescue: rescue, DisablePrivateNet: noNet,
 															BaselineMonitors: mon, Overrides: ov,
 															TierFaults: tf, Workload: wl, TierLoad: tl,
-															Shards: m.Shards, TraceLevel: m.TraceLevel,
+															AgentSlots: m.AgentSlots,
+															Shards:     m.Shards, TraceLevel: m.TraceLevel,
 														})
 													}
 												}
@@ -284,7 +297,7 @@ func Run(name string, m Matrix, workers int, fn RunFunc) (*Result, error) {
 			defer wg.Done()
 			for i := range idx {
 				t0 := time.Now()
-				vals, err := runTrial(fn, trials[i])
+				vals, err := runTrial(name, fn, trials[i])
 				tr := TrialResult{Trial: trials[i], Metrics: sanitize(vals), Elapsed: time.Since(t0)}
 				if err != nil {
 					tr.Err = err.Error()
@@ -308,14 +321,26 @@ func Run(name string, m Matrix, workers int, fn RunFunc) (*Result, error) {
 	return res, nil
 }
 
-// runTrial shields the pool from a panicking trial.
-func runTrial(fn RunFunc, t Trial) (vals map[string]float64, err error) {
+// runTrial shields the pool from a panicking trial. It runs the trial under
+// pprof labels naming the campaign cell, so a CPU profile captured across a
+// campaign (qossim campaign -cpuprofile) attributes samples per
+// scenario/site/mode/seed without ad-hoc patches.
+func runTrial(name string, fn RunFunc, t Trial) (vals map[string]float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("trial %d (seed %d, scenario %q) panicked: %v", t.Index, t.Seed, t.Scenario, r)
 		}
 	}()
-	return fn(t)
+	pprof.Do(context.Background(), pprof.Labels(
+		"campaign", name,
+		"scenario", t.Scenario,
+		"site", t.Site,
+		"mode", t.Mode,
+		"seed", strconv.FormatUint(t.Seed, 10),
+	), func(context.Context) {
+		vals, err = fn(t)
+	})
+	return vals, err
 }
 
 // sanitize drops non-finite values: they carry no aggregatable information

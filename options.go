@@ -121,6 +121,18 @@ type Options struct {
 	// single-goroutine engine; negative or absurd counts are rejected by
 	// NewSite. Ignored under ReferenceScheduler/ReferenceProbes.
 	Shards int
+	// AgentSlots switches agent cron dispatch (ModeAgents) from one
+	// continuous random phase per agent to phases quantized onto this many
+	// slots per cron period, coalescing each slot's agents into one
+	// prepared batch whose read-only observe half shards across the pool
+	// (see Shards) and whose mutating apply half replays serially at the
+	// tick barrier. Unlike Shards this is a model knob: quantizing moves
+	// the wake-up instants, so a slotted run is a different (equally valid)
+	// trajectory from an unslotted one, and campaigns record it in their
+	// JSON. 0 (the default) keeps per-agent phases; byte-identity across
+	// shard counts holds at any fixed value. Ignored under
+	// ReferenceScheduler.
+	AgentSlots int
 	// TraceLevel enables the decision-trace recorder: 0 off (the default —
 	// a nil recorder, zero cost), 1 records every healing-pipeline decision
 	// event, 2 additionally captures diagnosis evidence lines. Tracing
@@ -251,6 +263,12 @@ func WithReferenceProbes() Option { return func(o *Options) { o.ReferenceProbes 
 // byte-identical at any shard count; the win is wall-clock on multi-core
 // hardware for probe-heavy megasites.
 func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithAgentSlots quantizes agent cron phases onto n slots per period and
+// dispatches each slot as one prepared observe/apply batch (see
+// Options.AgentSlots). This changes the simulated trajectory; it is the
+// shard-friendly agent dispatch mode, not a pure execution knob.
+func WithAgentSlots(n int) Option { return func(o *Options) { o.AgentSlots = n } }
 
 // WithTrace enables the decision-trace recorder at the given level (see
 // Options.TraceLevel); Site.TraceEvents returns what it recorded.
